@@ -1,0 +1,95 @@
+//! Minimal command-line parsing (flags of the form `--name value`).
+
+use std::collections::HashMap;
+
+pub struct Args {
+    pub experiment: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let experiment = argv.next().ok_or_else(usage)?;
+        let mut flags = HashMap::new();
+        let rest: Vec<String> = argv.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let k = rest[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {}", rest[i]))?;
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("--{k} needs a value"))?;
+            flags.insert(k.to_string(), v.clone());
+            i += 2;
+        }
+        Ok(Args { experiment, flags })
+    }
+
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} must be a number"))
+            })
+            .unwrap_or(default)
+    }
+
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} must be an integer"))
+            })
+            .unwrap_or(default)
+    }
+
+    pub fn str(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Comma-separated integer list.
+    pub fn list(&self, name: &str, default: &[usize]) -> Vec<usize> {
+        match self.flags.get(name) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| s.trim().parse().expect("integer list"))
+                .collect(),
+        }
+    }
+}
+
+pub fn usage() -> String {
+    "usage: cpr-bench <experiment> [--seconds S] [--threads a,b,c] [--keys N] [--part P]\n\
+     experiments: fig02 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 phases ablation extra all"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&["fig02", "--seconds", "1.5", "--threads", "1,2,4"]);
+        assert_eq!(a.experiment, "fig02");
+        assert_eq!(a.f64("seconds", 9.0), 1.5);
+        assert_eq!(a.list("threads", &[8]), vec![1, 2, 4]);
+        assert_eq!(a.u64("keys", 7), 7);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(["x", "--seconds"].iter().map(|s| s.to_string())).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Transactional-database experiments: Figs. 2, 10, 11, 16 (YCSB) and 17
+//! (TPC-C).
+
+use cpr_memdb::Durability;
+
+use crate::args::Args;
+use crate::memdb_run::{run_memdb, MemdbRunConfig, MemdbWorkload};
+use crate::report::Report;
+
+pub const SYSTEMS: [(&str, Durability); 3] = [
+    ("CPR", Durability::Cpr),
+    ("CALC", Durability::Calc),
+    ("WAL", Durability::Wal),
+];
+
+fn ycsb(keys: u64, txn_size: usize, write_pct: u32, theta: f64) -> MemdbWorkload {
+    MemdbWorkload::Ycsb {
+        num_keys: keys,
+        txn_size,
+        write_pct,
+        theta: Some(theta),
+    }
+}
+
+/// Fig. 2 (teaser) — scalability of CPR vs CALC vs WAL, 1-key txns,
+/// low-contention YCSB 50:50.
+pub fn fig02(args: &Args) {
+    scalability_figure(
+        args,
+        "Fig 2: scalability, 1-key txns, theta=0.1, 50:50",
+        1,
+        0.1,
+    );
+}
+
+fn scalability_figure(args: &Args, title: &str, txn_size: usize, theta: f64) {
+    let seconds = args.f64("seconds", 2.0);
+    let threads = args.list("threads", &[1, 2, 4, 8]);
+    let keys = args.u64("keys", 250_000);
+    let mut r = Report::new(title, &["threads", "CPR_Mtps", "CALC_Mtps", "WAL_Mtps"]);
+    for &t in &threads {
+        let mut row = vec![t.to_string()];
+        for (_, sys) in SYSTEMS {
+            let mut cfg = MemdbRunConfig::new(sys, t, ycsb(keys, txn_size, 50, theta));
+            cfg.seconds = seconds;
+            let res = run_memdb(&cfg);
+            row.push(format!("{:.3}", res.mtps));
+        }
+        r.row(row);
+    }
+    r.print();
+}
+
+fn latency_figure(args: &Args, title: &str, txn_size: usize, theta: f64) {
+    let seconds = args.f64("seconds", 2.0);
+    let threads = args.list("threads", &[1, 2, 4, 8]);
+    let keys = args.u64("keys", 250_000);
+    let mut r = Report::new(title, &["threads", "CPR_us", "CALC_us", "WAL_us"]);
+    for &t in &threads {
+        let mut row = vec![t.to_string()];
+        for (_, sys) in SYSTEMS {
+            let mut cfg = MemdbRunConfig::new(sys, t, ycsb(keys, txn_size, 50, theta));
+            cfg.seconds = seconds;
+            let res = run_memdb(&cfg);
+            row.push(format!("{:.2}", res.avg_latency_us));
+        }
+        r.row(row);
+    }
+    r.print();
+}
+
+fn breakdown_figure(args: &Args, title: &str, theta: f64) {
+    let seconds = args.f64("seconds", 2.0);
+    let keys = args.u64("keys", 250_000);
+    let max_threads = *args.list("threads", &[1, 2, 4, 8]).iter().max().unwrap();
+    let mut r = Report::new(
+        title,
+        &[
+            "size",
+            "threads",
+            "system",
+            "exec%",
+            "abort%",
+            "tail%",
+            "logwrite%",
+        ],
+    );
+    for txn_size in [1usize, 10] {
+        for threads in [1usize, max_threads] {
+            for (name, sys) in SYSTEMS {
+                let mut cfg = MemdbRunConfig::new(sys, threads, ycsb(keys, txn_size, 50, theta));
+                cfg.seconds = seconds;
+                cfg.profile = true;
+                let res = run_memdb(&cfg);
+                let b = res.stats.breakdown();
+                r.row(vec![
+                    txn_size.to_string(),
+                    threads.to_string(),
+                    name.to_string(),
+                    format!("{:.1}", b[0] * 100.0),
+                    format!("{:.1}", b[1] * 100.0),
+                    format!("{:.1}", b[2] * 100.0),
+                    format!("{:.1}", b[3] * 100.0),
+                ]);
+            }
+        }
+    }
+    r.print();
+}
+
+/// Fig. 10 — low-contention YCSB: scalability (a/b), latency (c/d),
+/// breakdown (e).
+pub fn fig10(args: &Args) {
+    run_ycsb_family(args, 0.1, "Fig 10");
+}
+
+/// Fig. 16 (Appx. E.1) — the same family at high contention (θ = 0.99).
+pub fn fig16(args: &Args) {
+    run_ycsb_family(args, 0.99, "Fig 16");
+}
+
+fn run_ycsb_family(args: &Args, theta: f64, fig: &str) {
+    let part = args.str("part", "all");
+    if part == "all" || part == "scalability" {
+        scalability_figure(
+            args,
+            &format!("{fig}a: scalability, size 1, theta={theta}"),
+            1,
+            theta,
+        );
+        scalability_figure(
+            args,
+            &format!("{fig}b: scalability, size 10, theta={theta}"),
+            10,
+            theta,
+        );
+    }
+    if part == "all" || part == "latency" {
+        latency_figure(
+            args,
+            &format!("{fig}c: latency, size 1, theta={theta}"),
+            1,
+            theta,
+        );
+        latency_figure(
+            args,
+            &format!("{fig}d: latency, size 10, theta={theta}"),
+            10,
+            theta,
+        );
+    }
+    if part == "all" || part == "breakdown" {
+        breakdown_figure(
+            args,
+            &format!("{fig}e: time breakdown, theta={theta}"),
+            theta,
+        );
+    }
+}
+
+/// Fig. 11 — throughput during checkpoints (a/b), vs read % (c/d), vs txn
+/// size (e). Checkpoint marks scale with --seconds (paper: 30/60/90 s).
+pub fn fig11(args: &Args) {
+    let part = args.str("part", "all");
+    let seconds = args.f64("seconds", 3.0);
+    let threads = *args.list("threads", &[1, 2, 4, 8]).iter().max().unwrap();
+    let keys = args.u64("keys", 250_000);
+
+    if part == "all" || part == "timeline" {
+        for (label, txn_size) in [("a", 1usize), ("b", 10usize)] {
+            let mut r = Report::new(
+                format!("Fig 11{label}: throughput vs time w/ checkpoints, size {txn_size}"),
+                &["t_s", "system", "mix", "Mtps"],
+            );
+            for (name, sys) in SYSTEMS {
+                for write_pct in [50u32, 100] {
+                    let mut cfg =
+                        MemdbRunConfig::new(sys, threads, ycsb(keys, txn_size, write_pct, 0.1));
+                    cfg.seconds = seconds;
+                    cfg.sample_every = seconds / 8.0;
+                    // The paper commits at 30/60/90 s of a 120 s run:
+                    // commit at 1/4, 2/4, 3/4 of the run here.
+                    cfg.checkpoint_at = vec![seconds * 0.25, seconds * 0.5, seconds * 0.75];
+                    let res = run_memdb(&cfg);
+                    for (t, m) in res.timeline {
+                        r.row(vec![
+                            format!("{t:.2}"),
+                            name.to_string(),
+                            format!("{write_pct}:{}", 100 - write_pct),
+                            format!("{m:.3}"),
+                        ]);
+                    }
+                }
+            }
+            r.print();
+        }
+    }
+    if part == "all" || part == "readpct" {
+        for (label, txn_size) in [("c", 1usize), ("d", 10usize)] {
+            let mut r = Report::new(
+                format!("Fig 11{label}: throughput vs read %, size {txn_size}"),
+                &["read_pct", "CPR_Mtps", "CALC_Mtps", "WAL_Mtps"],
+            );
+            for read_pct in [0u32, 25, 50, 75, 90] {
+                let mut row = vec![read_pct.to_string()];
+                for (_, sys) in SYSTEMS {
+                    let mut cfg = MemdbRunConfig::new(
+                        sys,
+                        threads,
+                        ycsb(keys, txn_size, 100 - read_pct, 0.1),
+                    );
+                    cfg.seconds = args.f64("seconds", 2.0);
+                    let res = run_memdb(&cfg);
+                    row.push(format!("{:.3}", res.mtps));
+                }
+                r.row(row);
+            }
+            r.print();
+        }
+    }
+    if part == "all" || part == "txnsize" {
+        let mut r = Report::new(
+            "Fig 11e: throughput vs txn size, 50:50",
+            &["txn_size", "CPR_Mtps", "CALC_Mtps", "WAL_Mtps"],
+        );
+        for txn_size in [1usize, 3, 5, 7, 10] {
+            let mut row = vec![txn_size.to_string()];
+            for (_, sys) in SYSTEMS {
+                let mut cfg = MemdbRunConfig::new(sys, threads, ycsb(keys, txn_size, 50, 0.1));
+                cfg.seconds = args.f64("seconds", 2.0);
+                let res = run_memdb(&cfg);
+                row.push(format!("{:.3}", res.mtps));
+            }
+            r.row(row);
+        }
+        r.print();
+    }
+}
+
+/// Fig. 17 (Appx. E.2) — TPC-C: checkpoint timeline, scalability for the
+/// 50:50 and payment-only mixes, latency, breakdown.
+pub fn fig17(args: &Args) {
+    let part = args.str("part", "all");
+    let seconds = args.f64("seconds", 3.0);
+    let threads_list = args.list("threads", &[1, 2, 4, 8]);
+    let max_threads = *threads_list.iter().max().unwrap();
+    let warehouses = args.u64("warehouses", 4); // scaled from the paper's 256
+
+    if part == "all" || part == "timeline" {
+        let mut r = Report::new(
+            "Fig 17a: TPC-C 50:50 throughput vs time w/ checkpoints",
+            &["t_s", "system", "Mtps"],
+        );
+        for (name, sys) in SYSTEMS {
+            let mut cfg = MemdbRunConfig::new(
+                sys,
+                max_threads,
+                MemdbWorkload::Tpcc {
+                    warehouses,
+                    payment_pct: 50,
+                },
+            );
+            cfg.seconds = seconds;
+            cfg.sample_every = seconds / 8.0;
+            cfg.checkpoint_at = vec![seconds * 0.25, seconds * 0.5, seconds * 0.75];
+            let res = run_memdb(&cfg);
+            for (t, m) in res.timeline {
+                r.row(vec![format!("{t:.2}"), name.to_string(), format!("{m:.3}")]);
+            }
+        }
+        r.print();
+    }
+    if part == "all" || part == "scalability" {
+        for (label, payment_pct) in [("b (50:50)", 50u32), ("c (payments only)", 100)] {
+            let mut r = Report::new(
+                format!("Fig 17{label}: TPC-C scalability"),
+                &["threads", "CPR_Mtps", "CALC_Mtps", "WAL_Mtps"],
+            );
+            for &t in &threads_list {
+                let mut row = vec![t.to_string()];
+                for (_, sys) in SYSTEMS {
+                    let mut cfg = MemdbRunConfig::new(
+                        sys,
+                        t,
+                        MemdbWorkload::Tpcc {
+                            warehouses,
+                            payment_pct,
+                        },
+                    );
+                    cfg.seconds = args.f64("seconds", 2.0);
+                    let res = run_memdb(&cfg);
+                    row.push(format!("{:.3}", res.mtps));
+                }
+                r.row(row);
+            }
+            r.print();
+        }
+    }
+    if part == "all" || part == "latency" {
+        let mut r = Report::new(
+            "Fig 17d: TPC-C 50:50 latency",
+            &["threads", "CPR_us", "CALC_us", "WAL_us"],
+        );
+        for &t in &threads_list {
+            let mut row = vec![t.to_string()];
+            for (_, sys) in SYSTEMS {
+                let mut cfg = MemdbRunConfig::new(
+                    sys,
+                    t,
+                    MemdbWorkload::Tpcc {
+                        warehouses,
+                        payment_pct: 50,
+                    },
+                );
+                cfg.seconds = args.f64("seconds", 2.0);
+                let res = run_memdb(&cfg);
+                row.push(format!("{:.2}", res.avg_latency_us));
+            }
+            r.row(row);
+        }
+        r.print();
+    }
+    if part == "all" || part == "breakdown" {
+        let mut r = Report::new(
+            "Fig 17e: TPC-C time breakdown",
+            &[
+                "mix",
+                "threads",
+                "system",
+                "exec%",
+                "abort%",
+                "tail%",
+                "logwrite%",
+            ],
+        );
+        for (mix, payment_pct) in [("both", 50u32), ("payments", 100)] {
+            for threads in [1usize, max_threads] {
+                for (name, sys) in SYSTEMS {
+                    let mut cfg = MemdbRunConfig::new(
+                        sys,
+                        threads,
+                        MemdbWorkload::Tpcc {
+                            warehouses,
+                            payment_pct,
+                        },
+                    );
+                    cfg.seconds = args.f64("seconds", 2.0);
+                    cfg.profile = true;
+                    let res = run_memdb(&cfg);
+                    let b = res.stats.breakdown();
+                    r.row(vec![
+                        mix.to_string(),
+                        threads.to_string(),
+                        name.to_string(),
+                        format!("{:.1}", b[0] * 100.0),
+                        format!("{:.1}", b[1] * 100.0),
+                        format!("{:.1}", b[2] * 100.0),
+                        format!("{:.1}", b[3] * 100.0),
+                    ]);
+                }
+            }
+        }
+        r.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! One module per paper figure family.
+
+pub mod ablation;
+pub mod extra;
+pub mod faster_figs;
+pub mod memdb_figs;

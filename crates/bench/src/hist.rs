@@ -1,0 +1,159 @@
+//! A tiny lock-free log-scale histogram for latency sampling.
+//!
+//! Values (nanoseconds) land in power-of-two buckets with 4 linear
+//! sub-buckets each — ~19 % worst-case relative error, which is plenty
+//! for the paper's µs-scale latency plots, at the cost of one atomic
+//! increment per recorded sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SUB_BITS: u32 = 2; // 4 sub-buckets per power of two
+const SUBS: usize = 1 << SUB_BITS;
+const POWERS: usize = 40; // up to ~2^40 ns ≈ 18 minutes
+const BUCKETS: usize = POWERS * SUBS;
+
+/// Concurrent log-scale histogram of `u64` values.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value < SUBS as u64 {
+            return value as usize;
+        }
+        let power = 63 - value.leading_zeros();
+        let sub = (value >> (power - SUB_BITS)) as usize & (SUBS - 1);
+        (((power - SUB_BITS + 1) as usize) * SUBS + sub).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-bound) value of a bucket.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUBS {
+            return idx as u64;
+        }
+        let power = (idx / SUBS) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUBS) as u64;
+        (1u64 << power) + ((sub + 1) << (power - SUB_BITS))
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (upper-bound estimate).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(BUCKETS - 1)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_tiny_values() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn quantiles_are_close_for_large_values() {
+        let h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100); // 100ns .. 1ms
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Log-scale error bound: within ~25 %.
+        assert!(
+            (400_000..=650_000).contains(&p50),
+            "p50 {p50} not near 500_000"
+        );
+        assert!(
+            (850_000..=1_300_000).contains(&p99),
+            "p99 {p99} not near 990_000"
+        );
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn monotone_quantiles() {
+        let h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 10_000_000);
+        }
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile regressed at {q}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_counts_everything() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

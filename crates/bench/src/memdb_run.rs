@@ -1,0 +1,250 @@
+//! Shared runner for the transactional-database experiments
+//! (Figs. 2, 10, 11, 16, 17).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpr_memdb::{Access, ClientStats, DbValue, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr_workload::keys::KeyDist;
+use cpr_workload::tpcc::{TpccConfig, TpccGenerator};
+use cpr_workload::txn::{AccessType, TxnConfig, TxnGenerator};
+
+/// Which transaction stream to run.
+#[derive(Clone, Copy, Debug)]
+pub enum MemdbWorkload {
+    /// YCSB-style multi-key transactions.
+    Ycsb {
+        num_keys: u64,
+        txn_size: usize,
+        write_pct: u32,
+        theta: Option<f64>,
+    },
+    /// TPC-C lite (Payment / New-Order).
+    Tpcc { warehouses: u64, payment_pct: u32 },
+}
+
+#[derive(Clone, Debug)]
+pub struct MemdbRunConfig {
+    pub system: Durability,
+    pub threads: usize,
+    pub seconds: f64,
+    pub profile: bool,
+    /// Wall-clock marks (seconds) at which to request a commit.
+    pub checkpoint_at: Vec<f64>,
+    pub sample_every: f64,
+    pub workload: MemdbWorkload,
+}
+
+impl MemdbRunConfig {
+    pub fn new(system: Durability, threads: usize, workload: MemdbWorkload) -> Self {
+        MemdbRunConfig {
+            system,
+            threads,
+            seconds: 2.0,
+            profile: false,
+            checkpoint_at: Vec::new(),
+            sample_every: 0.5,
+            workload,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // aggregate fields are consumed by a subset of the figures
+pub struct MemdbRunResult {
+    pub committed: u64,
+    pub elapsed: f64,
+    pub stats: ClientStats,
+    /// (time, M txns/sec over the preceding interval)
+    pub timeline: Vec<(f64, f64)>,
+    pub mtps: f64,
+    pub avg_latency_us: f64,
+}
+
+fn dist(theta: Option<f64>) -> KeyDist {
+    match theta {
+        Some(t) => KeyDist::Zipfian { theta: t },
+        None => KeyDist::Uniform,
+    }
+}
+
+/// Run one configuration to completion and return aggregates.
+pub fn run_memdb(cfg: &MemdbRunConfig) -> MemdbRunResult {
+    match cfg.workload {
+        MemdbWorkload::Ycsb { .. } => run_generic::<u64>(cfg),
+        // TPC-C rows are "considerably larger" (paper E.2): 64-byte values.
+        MemdbWorkload::Tpcc { .. } => run_generic::<[u64; 8]>(cfg),
+    }
+}
+
+fn run_generic<V: DbValue>(cfg: &MemdbRunConfig) -> MemdbRunResult {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let capacity = match cfg.workload {
+        MemdbWorkload::Ycsb { num_keys, .. } => num_keys as usize * 2,
+        MemdbWorkload::Tpcc { warehouses, .. } => (warehouses as usize) * 140_000,
+    };
+    let opts = MemDbOptions::new(cfg.system)
+        .dir(dir.path())
+        .capacity(capacity)
+        .profile(cfg.profile)
+        .max_sessions(cfg.threads + 4)
+        .refresh_every(64);
+    let db: MemDb<V> = MemDb::open(opts).expect("open db");
+
+    // Pre-load.
+    match cfg.workload {
+        MemdbWorkload::Ycsb { num_keys, .. } => {
+            for k in 0..num_keys {
+                db.load(k, V::from_seed(k));
+            }
+        }
+        MemdbWorkload::Tpcc { warehouses, .. } => {
+            for k in TpccConfig::mix(warehouses, 50).preload_keys() {
+                db.load(k, V::from_seed(k));
+            }
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters: Arc<Vec<AtomicU64>> =
+        Arc::new((0..cfg.threads).map(|_| AtomicU64::new(0)).collect());
+
+    let workers: Vec<_> = (0..cfg.threads)
+        .map(|t| {
+            let db = db.clone();
+            let stop = stop.clone();
+            let counters = Arc::clone(&counters);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut session = db.session(t as u64);
+                let mut reads: Vec<V> = Vec::new();
+                let mut accesses: Vec<(u64, Access)> = Vec::new();
+                let seed = 0x5EED_0000 + t as u64;
+                let mut ycsb_gen;
+                let mut tpcc_gen;
+                type NextTxn<'a> = Box<dyn FnMut(&mut Vec<(u64, Access)>) -> Vec<u64> + 'a>;
+                let mut next: NextTxn<'_> = match cfg.workload {
+                    MemdbWorkload::Ycsb {
+                        num_keys,
+                        txn_size,
+                        write_pct,
+                        theta,
+                    } => {
+                        ycsb_gen = TxnGenerator::new(
+                            TxnConfig::mix(num_keys, dist(theta), txn_size, write_pct),
+                            seed,
+                        );
+                        Box::new(move |acc| {
+                            let txn = ycsb_gen.next_txn();
+                            acc.clear();
+                            acc.extend(txn.accesses.iter().map(|&(k, a)| {
+                                (
+                                    k,
+                                    match a {
+                                        AccessType::Read => Access::Read,
+                                        AccessType::Write => Access::Write,
+                                    },
+                                )
+                            }));
+                            txn.write_vals
+                        })
+                    }
+                    MemdbWorkload::Tpcc {
+                        warehouses,
+                        payment_pct,
+                    } => {
+                        tpcc_gen = TpccGenerator::new(
+                            TpccConfig::mix(warehouses, payment_pct),
+                            t as u64,
+                            seed,
+                        );
+                        Box::new(move |acc| {
+                            let (_, txn) = tpcc_gen.next_txn();
+                            acc.clear();
+                            acc.extend(txn.accesses.iter().map(|&(k, a)| {
+                                (
+                                    k,
+                                    match a {
+                                        AccessType::Read => Access::Read,
+                                        AccessType::Write => Access::Write,
+                                    },
+                                )
+                            }));
+                            txn.write_vals
+                        })
+                    }
+                };
+
+                while !stop.load(Ordering::Relaxed) {
+                    let seeds = next(&mut accesses);
+                    let req = TxnRequest {
+                        accesses: &accesses,
+                        write_seeds: &seeds,
+                    };
+                    // Retry conflicts/CPR aborts until committed (the
+                    // aborted work is what the breakdown's Abort bucket
+                    // accounts).
+                    let mut tries = 0;
+                    while session.execute(&req, &mut reads).is_err() {
+                        tries += 1;
+                        if tries > 1_000 {
+                            std::thread::yield_now();
+                            tries = 0;
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    counters[t].fetch_add(1, Ordering::Relaxed);
+                }
+                // Keep refreshing so an in-flight commit can finish.
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while db.state().0 != cpr_core::Phase::Rest && Instant::now() < deadline {
+                    session.refresh();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+
+    // Monitor loop: samples + checkpoint triggers.
+    let started = Instant::now();
+    let mut timeline = Vec::new();
+    let mut ckpts: Vec<f64> = cfg.checkpoint_at.clone();
+    ckpts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ckpts.reverse(); // pop from the back
+    let mut last_count = 0u64;
+    let mut last_t = 0.0f64;
+    while started.elapsed().as_secs_f64() < cfg.seconds {
+        std::thread::sleep(Duration::from_secs_f64(
+            cfg.sample_every.min(cfg.seconds / 2.0),
+        ));
+        let t = started.elapsed().as_secs_f64();
+        let count: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        timeline.push((t, (count - last_count) as f64 / (t - last_t) / 1e6));
+        last_count = count;
+        last_t = t;
+        if let Some(&mark) = ckpts.last() {
+            if t >= mark {
+                ckpts.pop();
+                db.request_commit();
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let committed: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    let stats = db.stats();
+    MemdbRunResult {
+        committed,
+        elapsed,
+        timeline,
+        mtps: committed as f64 / elapsed / 1e6,
+        avg_latency_us: cfg.threads as f64 * elapsed / committed.max(1) as f64 * 1e6,
+        stats,
+    }
+}

@@ -1,0 +1,83 @@
+//! Output helpers: every experiment prints a human-readable table plus a
+//! machine-readable CSV block (between `BEGIN-CSV`/`END-CSV` markers) so
+//! results can be diffed against the paper's figures.
+
+/// A simple column-aligned table with a CSV twin.
+pub struct Report {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.columns);
+        for row in &self.rows {
+            line(row);
+        }
+        println!("BEGIN-CSV {}", slug(&self.title));
+        println!("{}", self.columns.join(","));
+        for row in &self.rows {
+            println!("{}", row.join(","));
+        }
+        println!("END-CSV");
+    }
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut r = Report::new("Fig 2", &["threads", "mops"]);
+        r.row(vec!["1".into(), "2.5".into()]);
+        r.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut r = Report::new("x", &["a"]);
+        r.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Core CPR abstractions shared by the transactional database
+//! (`cpr-memdb`) and the FASTER key-value store (`cpr-faster`).
+//!
+//! *Concurrent Prefix Recovery* (CPR) is a group-commit durability model:
+//! instead of acknowledging individual operations, the system periodically
+//! tells each client session `i` a *commit point* `t_i` in the session's
+//! local operation timeline such that **all** operations before `t_i` are
+//! durable and **none** after are (paper, Definition 1). A CPR commit is
+//! coordinated by a global state machine whose transitions are realized
+//! lazily by worker threads through the epoch framework (`cpr-epoch`).
+//!
+//! This crate provides the pieces both systems share:
+//! * [`Phase`] — the commit state machine phases;
+//! * [`SystemState`] — (phase, version) packed into one atomic word;
+//! * [`SessionRegistry`] — per-session published state used both for the
+//!   "all sessions have entered phase P" trigger conditions and for
+//!   recording per-session CPR points;
+//! * [`manifest`] — durable checkpoint metadata.
+
+pub mod manifest;
+mod phase;
+mod sessions;
+mod state;
+pub mod sync;
+pub mod value;
+
+pub use manifest::{CheckpointKind, CheckpointManifest, SessionCpr};
+pub use phase::Phase;
+pub use sessions::{SessionId, SessionRegistry, SessionSlot};
+pub use state::SystemState;
+pub use sync::NoWaitLock;
+pub use value::{pod_read, pod_size, pod_write, Pod};

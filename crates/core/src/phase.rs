@@ -1,0 +1,105 @@
+//! Commit state machine phases.
+
+use serde::{Deserialize, Serialize};
+
+/// Phase of the CPR commit state machine.
+///
+/// The in-memory database (paper Fig. 4) uses `Rest → Prepare → InProgress →
+/// WaitFlush → Rest`; FASTER (paper Fig. 9a) additionally passes through
+/// `WaitPending` between `InProgress` and `WaitFlush`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Phase {
+    /// Normal processing at some version `v`; no commit in flight.
+    Rest = 0,
+    /// Threads "prepare" for the version shift: transactions must be fully
+    /// executable against version `v` or abort (at most once per thread).
+    Prepare = 1,
+    /// The prepare→in-progress transition demarcates a thread's CPR point;
+    /// subsequent operations belong to version `v + 1`.
+    InProgress = 2,
+    /// FASTER only: wait until all pending version-`v` requests complete.
+    WaitPending = 3,
+    /// Version-`v` state is being written to storage asynchronously.
+    WaitFlush = 4,
+}
+
+impl Phase {
+    /// All phases in state-machine order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Rest,
+        Phase::Prepare,
+        Phase::InProgress,
+        Phase::WaitPending,
+        Phase::WaitFlush,
+    ];
+
+    /// Decode from the representation produced by `as u8`.
+    #[inline]
+    pub fn from_u8(v: u8) -> Phase {
+        match v {
+            0 => Phase::Rest,
+            1 => Phase::Prepare,
+            2 => Phase::InProgress,
+            3 => Phase::WaitPending,
+            4 => Phase::WaitFlush,
+            _ => panic!("invalid phase encoding: {v}"),
+        }
+    }
+
+    /// True while a commit is in flight (any phase but `Rest`).
+    #[inline]
+    pub fn checkpointing(self) -> bool {
+        self != Phase::Rest
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Phase::Rest => "rest",
+            Phase::Prepare => "prepare",
+            Phase::InProgress => "in-progress",
+            Phase::WaitPending => "wait-pending",
+            Phase::WaitFlush => "wait-flush",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_phases() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_u8(p as u8), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid phase")]
+    fn invalid_encoding_panics() {
+        Phase::from_u8(9);
+    }
+
+    #[test]
+    fn only_rest_is_not_checkpointing() {
+        assert!(!Phase::Rest.checkpointing());
+        for p in [
+            Phase::Prepare,
+            Phase::InProgress,
+            Phase::WaitPending,
+            Phase::WaitFlush,
+        ] {
+            assert!(p.checkpointing());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Phase::WaitFlush.to_string(), "wait-flush");
+        assert_eq!(Phase::InProgress.to_string(), "in-progress");
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-session published state.
+//!
+//! Every client session owns a slot here. The slot publishes the session's
+//! thread-local view of the commit state machine — (phase, version) — plus
+//! its session-local *serial number* (a strictly increasing count of
+//! accepted operations) and the serial at its last CPR point.
+//!
+//! Trigger-action conditions ("all sessions have entered phase ≥ P at
+//! version v") scan the registry; a scan is O(#slots) and happens only
+//! while a commit is in flight, never on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::Phase;
+
+/// Session identifier — the paper's session `Guid`.
+pub type SessionId = u64;
+
+const VERSION_BITS: u32 = 48;
+const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+
+#[inline]
+fn pack(phase: Phase, version: u64) -> u64 {
+    ((phase as u64) << VERSION_BITS) | (version & VERSION_MASK)
+}
+
+#[inline]
+fn unpack(word: u64) -> (Phase, u64) {
+    (
+        Phase::from_u8((word >> VERSION_BITS) as u8),
+        word & VERSION_MASK,
+    )
+}
+
+/// One session's published state. All fields are written only by the owning
+/// session thread; read by whichever thread evaluates trigger conditions.
+#[derive(Debug)]
+pub struct SessionSlot {
+    /// 0 = free; otherwise `guid + 1` (so guid 0 is usable).
+    owner: AtomicU64,
+    /// Packed (phase, version): the session's thread-local state-machine view.
+    state: AtomicU64,
+    /// Serial number of the most recently accepted operation.
+    serial: AtomicU64,
+    /// Serial number at the session's last CPR point.
+    cpr_point: AtomicU64,
+}
+
+impl SessionSlot {
+    fn free() -> Self {
+        SessionSlot {
+            owner: AtomicU64::new(0),
+            state: AtomicU64::new(pack(Phase::Rest, 1)),
+            serial: AtomicU64::new(0),
+            cpr_point: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Registry of active sessions, sized at construction.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    slots: Box<[CachePadded<SessionSlot>]>,
+}
+
+impl SessionRegistry {
+    pub fn new(max_sessions: usize) -> Self {
+        assert!(max_sessions > 0);
+        let slots = (0..max_sessions)
+            .map(|_| CachePadded::new(SessionSlot::free()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SessionRegistry { slots }
+    }
+
+    /// Claim a slot for `guid`, initializing its view to (phase, version).
+    /// Returns the slot index.
+    ///
+    /// # Panics
+    /// Panics if all slots are taken.
+    pub fn acquire(&self, guid: SessionId, phase: Phase, version: u64) -> usize {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .owner
+                .compare_exchange(0, guid + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.state.store(pack(phase, version), Ordering::Release);
+                slot.serial.store(0, Ordering::Release);
+                slot.cpr_point.store(0, Ordering::Release);
+                return i;
+            }
+        }
+        panic!("session registry exhausted: {} slots", self.slots.len());
+    }
+
+    /// Release a slot.
+    pub fn release(&self, idx: usize) {
+        self.slots[idx].owner.store(0, Ordering::Release);
+    }
+
+    /// Publish the session's state-machine view.
+    #[inline]
+    pub fn publish(&self, idx: usize, phase: Phase, version: u64) {
+        self.slots[idx]
+            .state
+            .store(pack(phase, version), Ordering::Release);
+    }
+
+    /// The session's published (phase, version).
+    #[inline]
+    pub fn view(&self, idx: usize) -> (Phase, u64) {
+        unpack(self.slots[idx].state.load(Ordering::Acquire))
+    }
+
+    /// Record that the session accepted an operation with `serial`.
+    #[inline]
+    pub fn set_serial(&self, idx: usize, serial: u64) {
+        self.slots[idx].serial.store(serial, Ordering::Release);
+    }
+
+    #[inline]
+    pub fn serial(&self, idx: usize) -> u64 {
+        self.slots[idx].serial.load(Ordering::Acquire)
+    }
+
+    /// Mark the session's CPR point at its current serial number and return
+    /// it. Called exactly when the session transitions prepare→in-progress.
+    pub fn mark_cpr_point(&self, idx: usize) -> u64 {
+        let s = self.serial(idx);
+        self.slots[idx].cpr_point.store(s, Ordering::Release);
+        s
+    }
+
+    #[inline]
+    pub fn cpr_point(&self, idx: usize) -> u64 {
+        self.slots[idx].cpr_point.load(Ordering::Acquire)
+    }
+
+    /// Guid owning slot `idx`, if any.
+    pub fn guid(&self, idx: usize) -> Option<SessionId> {
+        match self.slots[idx].owner.load(Ordering::Acquire) {
+            0 => None,
+            g => Some(g - 1),
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn active(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.owner.load(Ordering::Acquire) != 0)
+            .count()
+    }
+
+    /// True iff every occupied slot has reached `(phase, version)` or
+    /// beyond — the trigger condition used by the commit state machines.
+    ///
+    /// "Beyond" means a strictly larger version, or the same version with a
+    /// phase at least `phase`.
+    pub fn all_at_least(&self, phase: Phase, version: u64) -> bool {
+        self.slots.iter().all(|s| {
+            if s.owner.load(Ordering::Acquire) == 0 {
+                return true;
+            }
+            let (p, v) = unpack(s.state.load(Ordering::Acquire));
+            v > version || (v == version && p >= phase)
+        })
+    }
+
+    /// Snapshot of (guid, cpr_point) for every occupied slot — the
+    /// per-session commit points persisted in the checkpoint manifest.
+    pub fn cpr_points(&self) -> Vec<(SessionId, u64)> {
+        self.slots
+            .iter()
+            .filter_map(|s| {
+                let owner = s.owner.load(Ordering::Acquire);
+                (owner != 0).then(|| (owner - 1, s.cpr_point.load(Ordering::Acquire)))
+            })
+            .collect()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let reg = SessionRegistry::new(2);
+        let a = reg.acquire(7, Phase::Rest, 1);
+        let b = reg.acquire(9, Phase::Rest, 1);
+        assert_eq!(reg.active(), 2);
+        assert_eq!(reg.guid(a), Some(7));
+        assert_eq!(reg.guid(b), Some(9));
+        reg.release(a);
+        assert_eq!(reg.active(), 1);
+        let c = reg.acquire(11, Phase::Rest, 1);
+        assert_eq!(c, a, "freed slot reused");
+    }
+
+    #[test]
+    fn guid_zero_is_usable() {
+        let reg = SessionRegistry::new(1);
+        let i = reg.acquire(0, Phase::Rest, 1);
+        assert_eq!(reg.guid(i), Some(0));
+    }
+
+    #[test]
+    fn all_at_least_over_phases_and_versions() {
+        let reg = SessionRegistry::new(3);
+        let a = reg.acquire(1, Phase::Rest, 1);
+        let b = reg.acquire(2, Phase::Rest, 1);
+        assert!(reg.all_at_least(Phase::Rest, 1));
+        assert!(!reg.all_at_least(Phase::Prepare, 1));
+
+        reg.publish(a, Phase::Prepare, 1);
+        assert!(!reg.all_at_least(Phase::Prepare, 1), "b still at rest");
+        reg.publish(b, Phase::Prepare, 1);
+        assert!(reg.all_at_least(Phase::Prepare, 1));
+
+        // A session already at the next version counts as "beyond".
+        reg.publish(a, Phase::Rest, 2);
+        assert!(!reg.all_at_least(Phase::WaitFlush, 1), "b at prepare");
+        reg.publish(b, Phase::Rest, 2);
+        assert!(reg.all_at_least(Phase::WaitFlush, 1));
+    }
+
+    #[test]
+    fn empty_registry_is_vacuously_ready() {
+        let reg = SessionRegistry::new(4);
+        assert!(reg.all_at_least(Phase::WaitFlush, 99));
+    }
+
+    #[test]
+    fn cpr_points_snapshot() {
+        let reg = SessionRegistry::new(4);
+        let a = reg.acquire(10, Phase::Rest, 1);
+        let b = reg.acquire(20, Phase::Rest, 1);
+        reg.set_serial(a, 5);
+        reg.set_serial(b, 8);
+        assert_eq!(reg.mark_cpr_point(a), 5);
+        assert_eq!(reg.mark_cpr_point(b), 8);
+        let mut pts = reg.cpr_points();
+        pts.sort_unstable();
+        assert_eq!(pts, vec![(10, 5), (20, 8)]);
+    }
+
+    #[test]
+    fn serial_updates_visible() {
+        let reg = SessionRegistry::new(1);
+        let i = reg.acquire(1, Phase::Rest, 1);
+        for s in 1..100 {
+            reg.set_serial(i, s);
+            assert_eq!(reg.serial(i), s);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Global system state: (phase, version) packed into a single atomic word.
+//!
+//! Worker threads read the global state only during epoch synchronization,
+//! so a single-load snapshot of both fields is required for consistency —
+//! hence the packing (paper Sec. 4.1: `Global.phase` and `Global.version`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Phase;
+
+/// Packed (phase, version) with atomic transitions.
+///
+/// Layout: `version` in the low 48 bits, `phase` in the high 8 bits.
+#[derive(Debug)]
+pub struct SystemState {
+    word: AtomicU64,
+}
+
+const VERSION_BITS: u32 = 48;
+const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+
+#[inline]
+fn pack(phase: Phase, version: u64) -> u64 {
+    debug_assert!(version <= VERSION_MASK);
+    ((phase as u64) << VERSION_BITS) | version
+}
+
+#[inline]
+fn unpack(word: u64) -> (Phase, u64) {
+    (
+        Phase::from_u8((word >> VERSION_BITS) as u8),
+        word & VERSION_MASK,
+    )
+}
+
+impl SystemState {
+    /// Initial state: `Rest` at version 1 (version 0 is reserved to mean
+    /// "no checkpoint").
+    pub fn new() -> Self {
+        SystemState {
+            word: AtomicU64::new(pack(Phase::Rest, 1)),
+        }
+    }
+
+    /// Start at an explicit version, e.g. after recovery.
+    pub fn at_version(version: u64) -> Self {
+        SystemState {
+            word: AtomicU64::new(pack(Phase::Rest, version)),
+        }
+    }
+
+    /// One-load snapshot of (phase, version).
+    #[inline]
+    pub fn load(&self) -> (Phase, u64) {
+        unpack(self.word.load(Ordering::Acquire))
+    }
+
+    /// Current phase.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        self.load().0
+    }
+
+    /// Current version.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.load().1
+    }
+
+    /// Atomically transition `(from_phase, from_version) → (to_phase,
+    /// to_version)`. Returns `false` if the state was not as expected —
+    /// e.g. a concurrent commit request already advanced it.
+    pub fn transition(&self, from: (Phase, u64), to: (Phase, u64)) -> bool {
+        self.word
+            .compare_exchange(
+                pack(from.0, from.1),
+                pack(to.0, to.1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Unconditionally set the state (used on recovery paths; not during a
+    /// live commit).
+    pub fn store(&self, phase: Phase, version: u64) {
+        self.word.store(pack(phase, version), Ordering::Release);
+    }
+}
+
+impl Default for SystemState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_rest_v1() {
+        let s = SystemState::new();
+        assert_eq!(s.load(), (Phase::Rest, 1));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for p in Phase::ALL {
+            for v in [0u64, 1, 12345, VERSION_MASK] {
+                assert_eq!(unpack(pack(p, v)), (p, v));
+            }
+        }
+    }
+
+    #[test]
+    fn transition_succeeds_from_expected_state() {
+        let s = SystemState::new();
+        assert!(s.transition((Phase::Rest, 1), (Phase::Prepare, 1)));
+        assert_eq!(s.load(), (Phase::Prepare, 1));
+    }
+
+    #[test]
+    fn transition_fails_from_wrong_state() {
+        let s = SystemState::new();
+        assert!(!s.transition((Phase::Prepare, 1), (Phase::InProgress, 1)));
+        assert_eq!(s.load(), (Phase::Rest, 1), "state unchanged on failure");
+    }
+
+    #[test]
+    fn commit_cycle_bumps_version() {
+        let s = SystemState::new();
+        assert!(s.transition((Phase::Rest, 1), (Phase::Prepare, 1)));
+        assert!(s.transition((Phase::Prepare, 1), (Phase::InProgress, 1)));
+        assert!(s.transition((Phase::InProgress, 1), (Phase::WaitFlush, 1)));
+        assert!(s.transition((Phase::WaitFlush, 1), (Phase::Rest, 2)));
+        assert_eq!(s.load(), (Phase::Rest, 2));
+    }
+
+    #[test]
+    fn concurrent_commit_requests_one_wins() {
+        use std::sync::Arc;
+        let s = Arc::new(SystemState::new());
+        let winners: usize = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    s.transition((Phase::Rest, 1), (Phase::Prepare, 1)) as usize
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(winners, 1);
+    }
+}

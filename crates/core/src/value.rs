@@ -1,0 +1,87 @@
+//! Plain-old-data values storable by the database and the key-value store.
+//!
+//! Both systems keep values inline — in record slots (`cpr-memdb`) or raw
+//! log pages (`cpr-faster`) — and serialize them byte-wise into
+//! checkpoints. [`Pod`] captures the contract that makes this sound.
+
+/// Marker for types that are plain old data.
+///
+/// # Safety
+/// Implementors must guarantee:
+/// * the type is `Copy` with no padding-dependent semantics — any byte
+///   pattern of length `size_of::<Self>()` is a valid value;
+/// * it contains no pointers, no interior mutability, and no drop glue.
+///
+/// These allow values to be bit-copied into checkpoint buffers and raw log
+/// pages and read back with `ptr::read_unaligned`.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for () {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Byte-wise size of a `Pod` value.
+pub const fn pod_size<T: Pod>() -> usize {
+    std::mem::size_of::<T>()
+}
+
+/// Append the raw bytes of `v` to `out`.
+pub fn pod_write<T: Pod>(v: &T, out: &mut Vec<u8>) {
+    // SAFETY: Pod guarantees `T` is valid to view as bytes.
+    let bytes =
+        unsafe { std::slice::from_raw_parts(v as *const T as *const u8, std::mem::size_of::<T>()) };
+    out.extend_from_slice(bytes);
+}
+
+/// Read a value from the front of `buf`.
+///
+/// # Panics
+/// Panics if `buf` is shorter than `size_of::<T>()`.
+pub fn pod_read<T: Pod>(buf: &[u8]) -> T {
+    assert!(buf.len() >= std::mem::size_of::<T>(), "short buffer");
+    // SAFETY: length checked; Pod guarantees any bit pattern is valid.
+    unsafe { std::ptr::read_unaligned(buf.as_ptr() as *const T) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut buf = Vec::new();
+        pod_write(&0xDEAD_BEEF_u64, &mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(pod_read::<u64>(&buf), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+        let mut buf = Vec::new();
+        pod_write(&v, &mut buf);
+        assert_eq!(buf.len(), 64);
+        assert_eq!(pod_read::<[u64; 8]>(&buf), v);
+    }
+
+    #[test]
+    fn unaligned_read_is_fine() {
+        let mut buf = vec![0xFFu8];
+        pod_write(&42u64, &mut buf);
+        assert_eq!(pod_read::<u64>(&buf[1..]), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "short buffer")]
+    fn short_buffer_panics() {
+        pod_read::<u64>(&[1, 2, 3]);
+    }
+}

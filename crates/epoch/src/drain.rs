@@ -1,0 +1,22 @@
+//! The drain list: pending ⟨epoch, cond, action⟩ trigger actions.
+
+/// A one-shot global action, run after its epoch becomes safe.
+pub type Action = Box<dyn FnOnce() + Send>;
+
+/// A condition over shared state that must additionally hold before the
+/// action fires (e.g. "all sessions have published phase ≥ PREPARE").
+pub type Condition = Box<dyn Fn() -> bool + Send + Sync>;
+
+pub(crate) struct DrainEntry {
+    /// The epoch that must become safe before the action may fire. This is
+    /// the value of the current epoch *before* the bump that scheduled it.
+    pub epoch: u64,
+    pub cond: Option<Condition>,
+    pub action: Action,
+}
+
+impl DrainEntry {
+    pub fn ready(&self, safe_epoch: u64) -> bool {
+        self.epoch <= safe_epoch && self.cond.as_ref().is_none_or(|c| c())
+    }
+}

@@ -1,0 +1,41 @@
+//! Epoch protection framework (CPR paper, Sec. 3).
+//!
+//! Threads register with an [`EpochManager`] and obtain a [`Guard`]. Each
+//! guard owns one slot of a shared *epoch table*, holding that thread's
+//! local view of the *current epoch* `E`. A thread performs its work without
+//! synchronization and periodically calls [`Guard::refresh`] to publish its
+//! local epoch.
+//!
+//! An epoch `c` is *safe* once every registered thread has a local epoch
+//! strictly greater than `c`. Arbitrary global *trigger actions* can be
+//! scheduled with [`Guard::bump_epoch`] / [`Guard::bump_epoch_with`]: the
+//! action runs (exactly once, on whichever thread drains it) after the epoch
+//! at which it was scheduled becomes safe **and** its optional condition on
+//! shared state holds. This is the ⟨epoch, cond, action⟩ drain list of the
+//! paper, and is the loose-coordination building block used by every CPR
+//! commit protocol in this repository.
+//!
+//! # Example
+//! ```
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//! use cpr_epoch::EpochManager;
+//!
+//! let mgr = Arc::new(EpochManager::new(8));
+//! let guard = mgr.register();
+//! let fired = Arc::new(AtomicBool::new(false));
+//! let f = fired.clone();
+//! guard.bump_epoch(move || f.store(true, Ordering::SeqCst));
+//! assert!(!fired.load(Ordering::SeqCst));
+//! guard.refresh(); // we are the only thread: the bumped epoch is now safe
+//! assert!(fired.load(Ordering::SeqCst));
+//! ```
+
+mod drain;
+mod manager;
+
+pub use drain::{Action, Condition};
+pub use manager::{EpochManager, Guard};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,243 @@
+//! The epoch manager: current epoch, per-thread epoch table, safe epoch,
+//! and drain-list processing.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::drain::{Action, Condition, DrainEntry};
+
+/// Slot value meaning "unregistered". Real epochs start at 1.
+const FREE: u64 = 0;
+
+/// Shared epoch state for a group of cooperating threads.
+///
+/// One instance is shared (via `Arc`) by all threads of a store/database.
+/// See the crate docs for the protocol.
+pub struct EpochManager {
+    /// The current epoch `E`. Starts at 1; only ever incremented.
+    current: CachePadded<AtomicU64>,
+    /// Cached maximal safe epoch `Es`. Invariant: `Es < E_T <= E` for every
+    /// registered thread `T` (paper Sec. 3). Monotonically non-decreasing.
+    safe: CachePadded<AtomicU64>,
+    /// One cache line per thread slot; `FREE` marks an unoccupied slot.
+    table: Box<[CachePadded<AtomicU64>]>,
+    /// Pending trigger actions. The `len` mirror lets `refresh` skip the
+    /// lock entirely in the (overwhelmingly common) empty case.
+    drain: Mutex<Vec<DrainEntry>>,
+    drain_len: AtomicUsize,
+}
+
+impl EpochManager {
+    /// Create a manager with room for `max_threads` concurrently registered
+    /// threads.
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads > 0, "need at least one thread slot");
+        let table = (0..max_threads)
+            .map(|_| CachePadded::new(AtomicU64::new(FREE)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EpochManager {
+            current: CachePadded::new(AtomicU64::new(1)),
+            safe: CachePadded::new(AtomicU64::new(0)),
+            table,
+            drain: Mutex::new(Vec::new()),
+            drain_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The current epoch `E`.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+
+    /// The cached maximal safe epoch `Es` (may lag the true value until the
+    /// next refresh).
+    #[inline]
+    pub fn safe(&self) -> u64 {
+        self.safe.load(Ordering::Acquire)
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered(&self) -> usize {
+        self.table
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != FREE)
+            .count()
+    }
+
+    /// Capacity of the epoch table.
+    pub fn capacity(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Reserve a slot in the epoch table (paper: *Acquire*).
+    ///
+    /// # Panics
+    /// Panics if all slots are taken.
+    pub fn register(self: &Arc<Self>) -> Guard {
+        for (i, slot) in self.table.iter().enumerate() {
+            let e = self.current();
+            if slot
+                .compare_exchange(FREE, e, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Guard {
+                    mgr: Arc::clone(self),
+                    slot: i,
+                };
+            }
+        }
+        panic!(
+            "epoch table exhausted: {} slots all registered",
+            self.table.len()
+        );
+    }
+
+    /// Recompute the maximal safe epoch by scanning the table, update the
+    /// cache, and return it. With no registered threads every epoch below
+    /// the current one is safe.
+    pub fn compute_safe(&self) -> u64 {
+        let mut min_local = u64::MAX;
+        for slot in self.table.iter() {
+            let e = slot.load(Ordering::Acquire);
+            if e != FREE && e < min_local {
+                min_local = e;
+            }
+        }
+        let safe = if min_local == u64::MAX {
+            // Nobody registered: everything strictly below `current` is safe.
+            self.current().saturating_sub(1)
+        } else {
+            min_local - 1
+        };
+        // Monotone update; concurrent updaters may race but only ever
+        // publish values that were true at the time they were computed.
+        self.safe.fetch_max(safe, Ordering::AcqRel);
+        self.safe()
+    }
+
+    /// Increment the current epoch and schedule `action` to run once the
+    /// pre-bump epoch is safe and `cond` (if any) holds. Returns the new
+    /// current epoch.
+    pub fn bump_epoch(&self, cond: Option<Condition>, action: Action) -> u64 {
+        // Reserve the entry *before* publishing the bump so a racing
+        // drain cannot miss it: the entry's trigger epoch is the pre-bump
+        // current epoch, which cannot be safe until every thread refreshes
+        // past it — and `drain_len` is already visible by then.
+        let mut drain = self.drain.lock();
+        let e = self.current.fetch_add(1, Ordering::AcqRel);
+        drain.push(DrainEntry {
+            epoch: e,
+            cond,
+            action,
+        });
+        self.drain_len.store(drain.len(), Ordering::Release);
+        e + 1
+    }
+
+    /// Run every ready trigger action. Called from [`Guard::refresh`]; also
+    /// callable directly (e.g. by a coordinator with no guard of its own).
+    pub fn try_drain(&self) {
+        if self.drain_len.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let safe = self.compute_safe();
+        let ready: Vec<Action> = {
+            let mut drain = self.drain.lock();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < drain.len() {
+                if drain[i].ready(safe) {
+                    ready.push(drain.swap_remove(i).action);
+                } else {
+                    i += 1;
+                }
+            }
+            self.drain_len.store(drain.len(), Ordering::Release);
+            ready
+        };
+        // Run outside the lock: actions are allowed to bump the epoch and
+        // schedule further actions.
+        for action in ready {
+            action();
+        }
+    }
+
+    /// Number of pending (not yet fired) trigger actions.
+    pub fn pending_actions(&self) -> usize {
+        self.drain_len.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for EpochManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochManager")
+            .field("current", &self.current())
+            .field("safe", &self.safe())
+            .field("registered", &self.registered())
+            .field("pending_actions", &self.pending_actions())
+            .finish()
+    }
+}
+
+/// A registered thread's handle to the epoch table (paper: the thread-local
+/// epoch `E_T`). Dropping the guard releases the slot (paper: *Release*).
+pub struct Guard {
+    mgr: Arc<EpochManager>,
+    slot: usize,
+}
+
+impl Guard {
+    /// Publish the thread's local epoch (paper: *Refresh*): set `E_T = E`,
+    /// recompute `Es` when needed, and fire any ready trigger actions.
+    #[inline]
+    pub fn refresh(&self) {
+        let e = self.mgr.current();
+        self.mgr.table[self.slot].store(e, Ordering::Release);
+        self.mgr.try_drain();
+    }
+
+    /// This thread's published local epoch.
+    #[inline]
+    pub fn local(&self) -> u64 {
+        self.mgr.table[self.slot].load(Ordering::Acquire)
+    }
+
+    /// Schedule `action` to run once all threads have refreshed past the
+    /// current epoch (paper: *BumpEpoch(action)*).
+    pub fn bump_epoch(&self, action: impl FnOnce() + Send + 'static) -> u64 {
+        self.mgr.bump_epoch(None, Box::new(action))
+    }
+
+    /// Schedule `action` to run once all threads have refreshed past the
+    /// current epoch **and** `cond` holds (paper: *BumpEpoch(cond, action)*).
+    pub fn bump_epoch_with(
+        &self,
+        cond: impl Fn() -> bool + Send + Sync + 'static,
+        action: impl FnOnce() + Send + 'static,
+    ) -> u64 {
+        self.mgr.bump_epoch(Some(Box::new(cond)), Box::new(action))
+    }
+
+    /// The shared manager.
+    pub fn manager(&self) -> &Arc<EpochManager> {
+        &self.mgr
+    }
+
+    /// This guard's slot index in the epoch table.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.mgr.table[self.slot].store(FREE, Ordering::Release);
+        // Our departure may have made epochs safe.
+        self.mgr.try_drain();
+    }
+}

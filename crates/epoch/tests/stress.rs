@@ -1,0 +1,194 @@
+//! Chaos/stress tests for the epoch framework: randomized interleavings
+//! of bumps, refreshes, registrations and releases must preserve the
+//! core guarantees — every action fires exactly once, never before its
+//! epoch is safe, and conditional actions never fire while their
+//! condition is false.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use cpr_epoch::EpochManager;
+
+/// Every bumped action fires exactly once even with thread churn
+/// (guards registering and releasing concurrently).
+#[test]
+fn actions_fire_exactly_once_under_churn() {
+    const ROUNDS: usize = 30;
+    const CHURNERS: usize = 4;
+    let mgr = Arc::new(EpochManager::new(CHURNERS * 2 + 2));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let churners: Vec<_> = (0..CHURNERS)
+        .map(|i| {
+            let mgr = Arc::clone(&mgr);
+            let stop = stop.clone();
+            thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let g = mgr.register();
+                    for _ in 0..(n % 7 + 1) {
+                        g.refresh();
+                    }
+                    drop(g); // release; may drain pending actions
+                    n += 1;
+                    if i == 0 && n % 16 == 0 {
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let fired = Arc::new(AtomicUsize::new(0));
+    let g = mgr.register();
+    for _ in 0..ROUNDS {
+        let f = fired.clone();
+        g.bump_epoch(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // Drain until this round's action lands.
+        while mgr.pending_actions() > 0 {
+            g.refresh();
+            thread::yield_now();
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for c in churners {
+        c.join().unwrap();
+    }
+    assert_eq!(fired.load(Ordering::SeqCst), ROUNDS);
+}
+
+/// An action must never observe a registered guard still pinned at the
+/// bump epoch — the definition of epoch safety.
+#[test]
+fn actions_never_fire_before_epoch_is_safe() {
+    const THREADS: usize = 3;
+    let mgr = Arc::new(EpochManager::new(THREADS + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let violation = Arc::new(AtomicBool::new(false));
+
+    // Worker threads publish their current "working epoch" before
+    // refreshing, mimicking a critical section.
+    let published: Arc<Vec<AtomicU64>> =
+        Arc::new((0..THREADS).map(|_| AtomicU64::new(0)).collect());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let mgr = Arc::clone(&mgr);
+            let stop = stop.clone();
+            let published = Arc::clone(&published);
+            thread::spawn(move || {
+                let g = mgr.register();
+                while !stop.load(Ordering::Relaxed) {
+                    // Enter a "critical section" at the current epoch.
+                    published[i].store(mgr.current(), Ordering::SeqCst);
+                    std::hint::spin_loop();
+                    // Leave it and refresh.
+                    published[i].store(u64::MAX, Ordering::SeqCst);
+                    g.refresh();
+                }
+            })
+        })
+        .collect();
+
+    let g = mgr.register();
+    for _ in 0..50 {
+        let bump_epoch_before = mgr.current();
+        let published2 = Arc::clone(&published);
+        let violation2 = violation.clone();
+        g.bump_epoch(move || {
+            // When this runs, no thread may still be inside a critical
+            // section entered at or before `bump_epoch_before`.
+            for p in published2.iter() {
+                let e = p.load(Ordering::SeqCst);
+                if e <= bump_epoch_before {
+                    violation2.store(true, Ordering::SeqCst);
+                }
+            }
+        });
+        while mgr.pending_actions() > 0 {
+            g.refresh();
+            thread::yield_now();
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(
+        !violation.load(Ordering::SeqCst),
+        "action observed a critical section from an unsafe epoch"
+    );
+}
+
+/// Conditional actions: the condition is re-evaluated until true, and
+/// the action observes it true when it finally runs.
+#[test]
+fn conditional_actions_wait_for_condition_under_concurrency() {
+    let mgr = Arc::new(EpochManager::new(4));
+    let g = mgr.register();
+    let gate = Arc::new(AtomicU64::new(0));
+    let fired_with = Arc::new(AtomicU64::new(u64::MAX));
+
+    for round in 1..=20u64 {
+        let gate_c = gate.clone();
+        let gate_a = gate.clone();
+        let fired = fired_with.clone();
+        g.bump_epoch_with(
+            move || gate_c.load(Ordering::SeqCst) >= round,
+            move || {
+                fired.store(gate_a.load(Ordering::SeqCst), Ordering::SeqCst);
+            },
+        );
+        g.refresh();
+        assert_eq!(
+            fired_with.load(Ordering::SeqCst),
+            if round == 1 { u64::MAX } else { round - 1 },
+            "action ran before its gate opened"
+        );
+        gate.store(round, Ordering::SeqCst);
+        g.refresh();
+        assert_eq!(fired_with.load(Ordering::SeqCst), round);
+    }
+}
+
+/// Heavy mixed load: many bumps from many threads; total fire count is
+/// exact and the safe epoch never exceeds current.
+#[test]
+fn mixed_bump_refresh_storm() {
+    const THREADS: usize = 4;
+    const BUMPS_PER_THREAD: usize = 200;
+    let mgr = Arc::new(EpochManager::new(THREADS));
+    let fired = Arc::new(AtomicUsize::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let mgr = Arc::clone(&mgr);
+            let fired = fired.clone();
+            thread::spawn(move || {
+                let g = mgr.register();
+                for i in 0..BUMPS_PER_THREAD {
+                    let f = fired.clone();
+                    g.bump_epoch(move || {
+                        f.fetch_add(1, Ordering::SeqCst);
+                    });
+                    if i % 3 == 0 {
+                        g.refresh();
+                    }
+                    assert!(mgr.safe() < mgr.current());
+                }
+                // Drain the remainder before leaving.
+                while mgr.pending_actions() > 0 {
+                    g.refresh();
+                    thread::yield_now();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    mgr.try_drain();
+    assert_eq!(fired.load(Ordering::SeqCst), THREADS * BUMPS_PER_THREAD);
+}

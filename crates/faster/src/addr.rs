@@ -1,0 +1,95 @@
+//! HybridLog logical addresses.
+//!
+//! The log defines a 48-bit logical address space spanning disk and main
+//! memory (paper Sec. 5.1). Addresses are plain byte offsets into that
+//! space; the page/offset split is a runtime parameter of the log, so this
+//! module provides only the invariants every component shares.
+
+/// A logical address into the HybridLog. 48 bits are significant — the
+/// same width the hash index and record headers store.
+pub type Address = u64;
+
+/// The null address: no record. Address 0 is never allocated (the log's
+/// first record starts at `record_size`).
+pub const INVALID_ADDRESS: Address = 0;
+
+/// Number of significant address bits.
+pub const ADDRESS_BITS: u32 = 48;
+
+/// Mask of the significant bits.
+pub const ADDRESS_MASK: u64 = (1 << ADDRESS_BITS) - 1;
+
+/// Page/offset arithmetic for a given page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLayout {
+    pub page_bits: u32,
+}
+
+impl PageLayout {
+    pub fn new(page_bits: u32) -> Self {
+        assert!(
+            (9..=30).contains(&page_bits),
+            "page_bits {page_bits} out of range"
+        );
+        PageLayout { page_bits }
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> u64 {
+        1 << self.page_bits
+    }
+
+    #[inline]
+    pub fn page(&self, addr: Address) -> u64 {
+        addr >> self.page_bits
+    }
+
+    #[inline]
+    pub fn offset(&self, addr: Address) -> u64 {
+        addr & (self.page_size() - 1)
+    }
+
+    #[inline]
+    pub fn address(&self, page: u64, offset: u64) -> Address {
+        debug_assert!(offset < self.page_size());
+        (page << self.page_bits) | offset
+    }
+
+    /// First address of `page`.
+    #[inline]
+    pub fn page_start(&self, page: u64) -> Address {
+        page << self.page_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_join() {
+        let l = PageLayout::new(16);
+        let a = l.address(3, 100);
+        assert_eq!(l.page(a), 3);
+        assert_eq!(l.offset(a), 100);
+        assert_eq!(a, 3 * 65536 + 100);
+    }
+
+    #[test]
+    fn page_start_is_offset_zero() {
+        let l = PageLayout::new(12);
+        assert_eq!(l.page_start(5), 5 * 4096);
+        assert_eq!(l.offset(l.page_start(5)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tiny_pages_rejected() {
+        PageLayout::new(4);
+    }
+
+    #[test]
+    fn address_mask_is_48_bits() {
+        assert_eq!(ADDRESS_MASK, 0x0000_FFFF_FFFF_FFFF);
+    }
+}

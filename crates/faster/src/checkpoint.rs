@@ -1,0 +1,115 @@
+//! The wait-flush work of a CPR commit, and fuzzy index checkpoints
+//! (paper Secs. 6.2.4, 6.3).
+//!
+//! Runs on a dedicated checkpoint thread so user sessions never block:
+//! they keep processing version-`v + 1` requests while the version-`v`
+//! state is written out.
+
+use std::io::{self, Write};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cpr_core::{CheckpointKind, CheckpointManifest, Phase, Pod, SessionCpr};
+
+use crate::store::{mark_phase, CheckpointVariant, StoreInner};
+
+/// Complete the commit of version `v`: capture the volatile log (and
+/// optionally the index), persist the manifest, and return to `rest` at
+/// `v + 1`.
+pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
+    let ctx = inner.ckpt.lock().take().expect("checkpoint context set");
+    let hl = &inner.hlog;
+
+    // Fuzzy index checkpoint first (full commits only), so that every
+    // address the dumped index references is ≤ L_ie ≤ L_he and therefore
+    // durable once the log flush below completes (see DESIGN.md).
+    let (mut lis, mut lie) = (None, None);
+    if !ctx.log_only {
+        lis = Some(hl.tail());
+        let dump = inner.index.dump();
+        write_atomic(&inner.store.file(ctx.token, "index.dat"), &dump)
+            .expect("write index checkpoint");
+        lie = Some(hl.tail());
+    }
+
+    let lhe = hl.tail();
+    let mut snapshot_start = None;
+    match ctx.variant {
+        CheckpointVariant::FoldOver => {
+            // Advance the read-only offset to the tail: every version-v
+            // record becomes immutable and is flushed to the main log.
+            hl.shift_read_only_to(lhe);
+            hl.wait_flushed(lhe);
+        }
+        CheckpointVariant::Snapshot => {
+            // Capture the volatile region into a separate file; offsets
+            // (and in-place updatability) are untouched.
+            let start = hl.flushed_durable();
+            let bytes = hl.read_range(start, lhe);
+            write_atomic(&inner.store.file(ctx.token, "snapshot.dat"), &bytes)
+                .expect("write snapshot");
+            snapshot_start = Some(start);
+        }
+    }
+    hl.device().sync().expect("log device sync");
+
+    let kind = match ctx.variant {
+        CheckpointVariant::FoldOver => CheckpointKind::FoldOver,
+        CheckpointVariant::Snapshot => CheckpointKind::Snapshot,
+    };
+    let mut manifest = CheckpointManifest::new(ctx.token, kind, v);
+    manifest.log_begin = Some(ctx.lhs);
+    manifest.log_end = Some(lhe);
+    manifest.index_begin = lis;
+    manifest.index_end = lie;
+    manifest.snapshot_start = snapshot_start;
+    manifest.sessions = inner
+        .registry
+        .cpr_points()
+        .into_iter()
+        .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
+        .collect();
+    inner.store.commit(&manifest).expect("commit manifest");
+
+    // Back to rest at v + 1.
+    let mut marks = ctx.phase_marks;
+    marks.push((Phase::Rest, ctx.started.elapsed()));
+    *inner.last_phase_marks.lock() = marks;
+    let ok = inner
+        .state
+        .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
+    debug_assert!(ok, "state machine out of sync at commit completion");
+    let _ = mark_phase::<V>; // (phase marks already pushed above)
+    inner.committed_version.store(v, Ordering::Release);
+    for cb in inner.commit_callbacks.lock().iter() {
+        cb(v, &manifest.sessions);
+    }
+    let _g = inner.commit_lock.lock();
+    inner.commit_cv.notify_all();
+}
+
+/// Standalone fuzzy index checkpoint (paper Sec. 6.3): the index is
+/// physically consistent at all times, so a dump of atomically read words
+/// suffices; recovery replays the log suffix `[L_is, …)` over it.
+pub(crate) fn index_checkpoint<V: Pod>(inner: &Arc<StoreInner<V>>) -> io::Result<u64> {
+    let token = inner.store.begin()?;
+    let lis = inner.hlog.tail();
+    let dump = inner.index.dump();
+    write_atomic(&inner.store.file(token, "index.dat"), &dump)?;
+    let lie = inner.hlog.tail();
+    let mut manifest = CheckpointManifest::new(token, CheckpointKind::Index, inner.state.version());
+    manifest.index_begin = Some(lis);
+    manifest.index_end = Some(lie);
+    inner.store.commit(&manifest)?;
+    Ok(token)
+}
+
+fn write_atomic(path: &std::path::Path, data: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}

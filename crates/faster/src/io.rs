@@ -1,0 +1,134 @@
+//! Asynchronous record retrieval for disk-resident data (paper Sec. 5:
+//! "If `l` is less than the head offset, it issues an asynchronous I/O
+//! request" while the requesting thread keeps processing).
+//!
+//! A small pool of reader threads serves requests from a shared channel;
+//! each request carries its own buffer and completion handle, which the
+//! owning session polls from its pending list.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cpr_storage::{Device, IoHandle};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+/// An in-flight read: poll `handle`, then take the record bytes.
+#[derive(Clone)]
+pub struct IoRead {
+    pub handle: IoHandle,
+    pub buf: Arc<Mutex<Vec<u8>>>,
+}
+
+struct IoRequest {
+    addr: u64,
+    len: usize,
+    read: IoRead,
+}
+
+/// Background read pool.
+pub struct IoPool {
+    tx: Option<Sender<IoRequest>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl IoPool {
+    pub fn new(device: Arc<dyn Device>, threads: usize) -> Self {
+        let (tx, rx) = unbounded::<IoRequest>();
+        let threads = (0..threads.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let device = Arc::clone(&device);
+                std::thread::Builder::new()
+                    .name(format!("cpr-faster-io-{i}"))
+                    .spawn(move || {
+                        for req in rx {
+                            let mut data = vec![0u8; req.len];
+                            let res = device.read_at(req.addr, &mut data);
+                            match res {
+                                Ok(()) => {
+                                    *req.read.buf.lock() = data;
+                                    req.read.handle.complete(Ok(()));
+                                }
+                                Err(e) => req.read.handle.complete(Err(e)),
+                            }
+                        }
+                    })
+                    .expect("spawn io thread")
+            })
+            .collect();
+        IoPool {
+            tx: Some(tx),
+            threads,
+        }
+    }
+
+    /// Issue an asynchronous read of `len` bytes at `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> IoRead {
+        let read = IoRead {
+            handle: IoHandle::pending(),
+            buf: Arc::new(Mutex::new(Vec::new())),
+        };
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(IoRequest {
+                addr,
+                len,
+                read: read.clone(),
+            })
+            .expect("io thread alive");
+        read
+    }
+}
+
+impl Drop for IoPool {
+    fn drop(&mut self) {
+        self.tx.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_storage::MemDevice;
+
+    #[test]
+    fn async_read_roundtrip() {
+        let dev = MemDevice::new();
+        dev.write_at(100, vec![1, 2, 3, 4]).wait().unwrap();
+        let pool = IoPool::new(dev, 2);
+        let r = pool.read(100, 4);
+        r.handle.wait().unwrap();
+        assert_eq!(*r.buf.lock(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn read_error_surfaces_in_handle() {
+        let dev = MemDevice::new();
+        let pool = IoPool::new(dev, 1);
+        let r = pool.read(1 << 20, 8); // past end
+        assert!(r.handle.wait().is_err());
+    }
+
+    #[test]
+    fn many_concurrent_reads_complete() {
+        let dev = MemDevice::new();
+        let mut all = Vec::new();
+        for i in 0..64u64 {
+            dev.write_at(i * 8, i.to_le_bytes().to_vec());
+        }
+        dev.sync().unwrap();
+        let pool = IoPool::new(dev, 3);
+        for i in 0..64u64 {
+            all.push((i, pool.read(i * 8, 8)));
+        }
+        for (i, r) in all {
+            r.handle.wait().unwrap();
+            assert_eq!(*r.buf.lock(), i.to_le_bytes().to_vec());
+        }
+    }
+}

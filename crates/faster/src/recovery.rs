@@ -1,0 +1,150 @@
+//! Recovery to a CPR-consistent state (paper Sec. 6.4 / Alg. 3).
+//!
+//! Recovery combines the newest committed log checkpoint (fold-over or
+//! snapshot) with the newest fuzzy index checkpoint at or before it, then
+//! scans the HybridLog section `[S, E)` fixing the index:
+//!
+//! * `S = min(L_is, L_hs)`, `E = L_he` (our index dumps complete before
+//!   `L_he` is recorded, so every dumped address is durable — see
+//!   DESIGN.md);
+//! * a record with version ≤ v becomes its slot's newest address (the
+//!   scan runs in address order, so later records win);
+//! * a record with version v + 1 is marked invalid on the device, and any
+//!   slot pointing at or beyond it is unlinked to the record's previous
+//!   address — the UNDO of FASTER recovery.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use cpr_core::{CheckpointKind, CheckpointManifest, Pod};
+use cpr_storage::{CheckpointStore, Device, FileDevice};
+
+use crate::addr::PageLayout;
+use crate::header::{version13, Header, RecordLayout};
+use crate::index::{key_hash, HashIndex};
+use crate::store::{FasterKv, FasterOptions};
+
+pub(crate) fn recover<V: Pod>(
+    opts: FasterOptions<V>,
+) -> io::Result<(FasterKv<V>, Option<CheckpointManifest>)> {
+    let cs = CheckpointStore::open(opts.dir.join("checkpoints"))?;
+    let m_log = cs.latest_matching(|m| {
+        matches!(m.kind, CheckpointKind::FoldOver | CheckpointKind::Snapshot)
+    })?;
+    let Some(m_log) = m_log else {
+        // Nothing committed: a fresh store.
+        return Ok((FasterKv::open(opts)?, None));
+    };
+
+    let device: Arc<dyn Device> = Arc::new(FileDevice::open(opts.dir.join("log.dat"))?);
+
+    // Normalize a snapshot commit into the main log file so a single
+    // contiguous source covers [0, E).
+    if m_log.kind == CheckpointKind::Snapshot {
+        let start = m_log
+            .snapshot_start
+            .expect("snapshot manifest has snapshot_start");
+        let bytes = std::fs::read(cs.file(m_log.token, "snapshot.dat"))?;
+        device.write_at(start, bytes).wait()?;
+        device.sync()?;
+    }
+
+    // Newest usable index checkpoint (the log checkpoint itself if full).
+    let m_idx = if m_log.index_begin.is_some() {
+        Some(m_log.clone())
+    } else {
+        cs.latest_matching(|m| m.token <= m_log.token && m.index_begin.is_some())?
+    };
+    let index = match &m_idx {
+        Some(mi) => HashIndex::load(&std::fs::read(cs.file(mi.token, "index.dat"))?)?,
+        None => HashIndex::new(opts.index_buckets),
+    };
+
+    let layout = PageLayout::new(opts.hlog.page_bits);
+    let rec = RecordLayout::new(opts.hlog.value_size);
+    let rec_size = rec.record_size() as u64;
+    let begin = rec_size;
+
+    let v = m_log.version;
+    let vnext13 = version13(v + 1);
+    let lhs = m_log.log_begin.expect("log checkpoint has log_begin");
+    let e = m_log.log_end.expect("log checkpoint has log_end");
+    let s = m_idx
+        .as_ref()
+        .and_then(|m| m.index_begin)
+        .unwrap_or(begin)
+        .min(lhs)
+        .max(begin);
+
+    // Scan [s, e) page by page.
+    let mut addr = s;
+    let psz = layout.page_size();
+    let mut page_buf: Vec<u8> = Vec::new();
+    let mut cur_page = u64::MAX;
+    while addr + rec_size <= e.max(addr) && addr < e {
+        // Records never straddle pages; skip page-tail slack.
+        if layout.offset(addr) + rec_size > psz {
+            addr = layout.page_start(layout.page(addr) + 1);
+            continue;
+        }
+        let page = layout.page(addr);
+        if page != cur_page {
+            let start = layout.page_start(page).max(s);
+            let end = layout.page_start(page + 1).min(e);
+            page_buf.clear();
+            page_buf.resize((end - start) as usize, 0);
+            device.read_at(start, &mut page_buf)?;
+            cur_page = page;
+        }
+        let base = (addr - layout.page_start(page).max(s)) as usize;
+        if base + rec_size as usize > page_buf.len() {
+            break; // truncated tail
+        }
+        let word = u64::from_le_bytes(page_buf[base..base + 8].try_into().unwrap());
+        if word == 0 {
+            // Unwritten slack: nothing else in this page.
+            addr = layout.page_start(page + 1);
+            continue;
+        }
+        let h = Header::unpack(word);
+        let key = u64::from_le_bytes(page_buf[base + 8..base + 16].try_into().unwrap());
+        let slot = index.find_or_create(key_hash(key));
+        if h.version != vnext13 && !h.invalid {
+            // Part of the commit: the scan is in address order, so this is
+            // the newest version-≤v record so far for its slot.
+            loop {
+                let cur = slot.address();
+                if slot.try_update(cur, addr) {
+                    break;
+                }
+            }
+        } else {
+            // Post-CPR-point record: mark invalid on the device and unlink
+            // the slot if it points at or beyond it.
+            let inv = Header { invalid: true, ..h };
+            device.write_at(addr, inv.pack().to_le_bytes().to_vec());
+            loop {
+                let cur = slot.address();
+                if cur < addr {
+                    break;
+                }
+                if slot.try_update(cur, h.prev) {
+                    break;
+                }
+            }
+        }
+        addr += rec_size;
+    }
+    device.sync()?;
+
+    let sessions: HashMap<u64, u64> = m_log
+        .sessions
+        .iter()
+        .map(|s| (s.guid, s.cpr_point))
+        .collect();
+
+    let kv = FasterKv::build(opts, device, Some((index, v + 1, sessions)))?;
+    kv.inner.hlog.restore_at(e);
+    Ok((kv, Some(m_log)))
+}

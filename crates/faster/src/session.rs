@@ -1,0 +1,873 @@
+//! Sessions and the operation engine (paper Secs. 5.2, 6.2, Algs. 4 & 5).
+//!
+//! Every user request carries a strictly increasing session-local serial
+//! number. A session's thread-local view of the global (phase, version) is
+//! synchronized only at epoch refresh; the prepare → in-progress
+//! transition demarcates the session's CPR point. Requests that cannot be
+//! served immediately (disk-resident record, fuzzy region, version
+//! hand-off conflicts) go *pending* and are retried by
+//! [`FasterSession::complete_pending`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cpr_core::{Phase, Pod};
+
+use crate::addr::{Address, INVALID_ADDRESS};
+use crate::header::{version13, Header};
+use crate::index::{key_hash, Slot};
+use crate::io::IoRead;
+use crate::store::{value_from_words, value_to_words, StoreInner, VersionGrain};
+
+/// Result of a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadResult<V> {
+    Found(V),
+    NotFound,
+    /// Went pending (disk or contention); the result arrives via
+    /// [`FasterSession::drain_completions`].
+    Pending,
+}
+
+/// Result of an update operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    Ok,
+    Pending,
+}
+
+/// Kind of a user operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Read,
+    Upsert,
+    Rmw,
+    Delete,
+}
+
+/// A completed formerly-pending operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion<V> {
+    pub serial: u64,
+    pub kind: OpKind,
+    pub key: u64,
+    /// Read result (`None` = key absent) — unset for updates.
+    pub value: Option<V>,
+}
+
+/// Per-session op counters.
+#[derive(Debug, Default, Clone)]
+pub struct SessionStats {
+    pub reads: u64,
+    pub upserts: u64,
+    pub rmws: u64,
+    pub deletes: u64,
+    pub went_pending: u64,
+    pub completed_pending: u64,
+}
+
+struct Pending<V> {
+    serial: u64,
+    kind: OpKind,
+    key: u64,
+    input: Option<V>,
+    /// Full version this op belongs to (its transaction version at
+    /// acceptance).
+    tag: u64,
+    /// Fine grain: bucket whose shared latch this pending op holds.
+    latch: Option<usize>,
+    /// Coarse grain: key registered in the pending-v-keys guard set.
+    guarded: bool,
+    io: Option<IoRead>,
+    io_addr: Address,
+}
+
+enum Outcome<V> {
+    Done(Option<V>),
+    /// Must wait; optionally with an I/O already issued.
+    Pend(Option<(Address, IoRead)>),
+    /// CPR shift detected in prepare: refresh and retry.
+    Shift,
+    /// Index CAS lost a race: retry immediately.
+    Retry,
+}
+
+/// A client session. Not `Sync`: owned by one thread, as in the paper.
+pub struct FasterSession<V: Pod> {
+    store: Arc<StoreInner<V>>,
+    guard: cpr_epoch::Guard,
+    slot_idx: usize,
+    guid: u64,
+    phase: Phase,
+    version: u64,
+    serial: u64,
+    ops_since_refresh: u64,
+    pending: Vec<Pending<V>>,
+    completions: Vec<Completion<V>>,
+    pending_points: VecDeque<(u64, u64)>,
+    durable_serial: u64,
+    scratch: Vec<u64>,
+    scratch2: Vec<u64>,
+    pub stats: SessionStats,
+}
+
+impl<V: Pod> FasterSession<V> {
+    pub(crate) fn new(store: Arc<StoreInner<V>>, guid: u64, start_serial: u64) -> Self {
+        let (phase, version) = store.state.load();
+        let slot_idx = store.registry.acquire(guid, phase, version);
+        store.registry.set_serial(slot_idx, start_serial);
+        let guard = store.epoch.register();
+        FasterSession {
+            store,
+            guard,
+            slot_idx,
+            guid,
+            phase,
+            version,
+            serial: start_serial,
+            ops_since_refresh: 0,
+            pending: Vec::new(),
+            completions: Vec::new(),
+            pending_points: VecDeque::new(),
+            durable_serial: start_serial,
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    pub fn guid(&self) -> u64 {
+        self.guid
+    }
+
+    /// Serial of the most recently accepted operation.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// Thread-local (phase, version) view.
+    pub fn view(&self) -> (Phase, u64) {
+        (self.phase, self.version)
+    }
+
+    /// Number of operations awaiting completion.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Largest serial known durable: every op with serial ≤ this survives
+    /// a crash (the session's committed CPR prefix).
+    pub fn durable_serial(&mut self) -> u64 {
+        let cv = self.store.committed_version.load(Ordering::Acquire);
+        while let Some(&(v, s)) = self.pending_points.front() {
+            if v <= cv {
+                self.durable_serial = self.durable_serial.max(s);
+                self.pending_points.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.durable_serial
+    }
+
+    /// Move completed formerly-pending results into `out`.
+    pub fn drain_completions(&mut self, out: &mut Vec<Completion<V>>) {
+        out.append(&mut self.completions);
+    }
+
+    /// Publish the local epoch, adopt global state changes (marking the
+    /// CPR point on the prepare → in-progress crossing), and retry
+    /// pending operations.
+    pub fn refresh(&mut self) {
+        self.guard.refresh();
+        self.ops_since_refresh = 0;
+        let (gp, gv) = self.store.state.load();
+        if (gp, gv) != (self.phase, self.version) {
+            // Entering prepare: protect pre-existing pending requests so
+            // post-point writers cannot overtake them (paper Sec. 6.2.1).
+            if gp == Phase::Prepare && gv == self.version && self.phase == Phase::Rest {
+                self.protect_pendings();
+            }
+            let crossed = self.phase <= Phase::Prepare
+                && ((gv == self.version && gp >= Phase::InProgress) || gv > self.version);
+            if crossed {
+                let point = self.store.registry.mark_cpr_point(self.slot_idx);
+                self.pending_points.push_back((self.version, point));
+            }
+            self.phase = gp;
+            self.version = gv;
+            self.store.registry.publish(self.slot_idx, gp, gv);
+        }
+        if self.phase != Phase::Rest {
+            // A commit is in flight: cede the CPU so the checkpoint and
+            // device threads make progress even on a single core.
+            std::thread::yield_now();
+        }
+        self.complete_pending();
+    }
+
+    /// Retry pending operations; completed ones become
+    /// [`Completion`]s. Returns the number completed this call.
+    pub fn complete_pending(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let mut ops = std::mem::take(&mut self.pending);
+        let mut completed = 0;
+        let mut i = 0;
+        while i < ops.len() {
+            let op = &mut ops[i];
+            let io_data: Option<(Address, Vec<u8>)> = match &op.io {
+                Some(io) if io.handle.is_done() => {
+                    if io.handle.wait().is_ok() {
+                        Some((op.io_addr, io.buf.lock().clone()))
+                    } else {
+                        // Read raced an in-flight flush; drop and retry
+                        // through the normal path.
+                        op.io = None;
+                        i += 1;
+                        continue;
+                    }
+                }
+                Some(_) => {
+                    i += 1;
+                    continue; // still in flight
+                }
+                None => None,
+            };
+            let outcome = self.run_op(
+                op.kind,
+                op.key,
+                op.input,
+                op.tag,
+                io_data.as_ref().map(|(a, b)| (*a, b.as_slice())),
+            );
+            let op = &mut ops[i];
+            match outcome {
+                Outcome::Done(value) => {
+                    self.finish_pending(op, value);
+                    completed += 1;
+                    ops.swap_remove(i);
+                }
+                Outcome::Pend(io) => {
+                    match io {
+                        Some((addr, read)) => {
+                            op.io_addr = addr;
+                            op.io = Some(read);
+                        }
+                        None => op.io = None,
+                    }
+                    i += 1;
+                }
+                Outcome::Shift | Outcome::Retry => {
+                    // Re-run the same op immediately (CAS race); a Shift
+                    // cannot occur for an already-accepted pending op’s
+                    // tag, but retrying is always safe.
+                }
+            }
+        }
+        debug_assert!(self.pending.is_empty());
+        self.pending = ops;
+        self.stats.completed_pending += completed as u64;
+        completed
+    }
+
+    fn finish_pending(&mut self, op: &mut Pending<V>, value: Option<V>) {
+        if let Some(b) = op.latch.take() {
+            self.store.latches[b].release_shared();
+        }
+        if op.guarded {
+            self.store.pending_v_keys.lock().remove(&op.key);
+            op.guarded = false;
+        }
+        self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
+        self.completions.push(Completion {
+            serial: op.serial,
+            kind: op.kind,
+            key: op.key,
+            value,
+        });
+    }
+
+    /// Fine grain: take shared latches (coarse: register key guards) for
+    /// pending requests when entering prepare.
+    fn protect_pendings(&mut self) {
+        match self.store.grain {
+            VersionGrain::Fine => {
+                for op in &mut self.pending {
+                    if op.tag == self.version && op.latch.is_none() {
+                        let b = self.store.index.bucket_index(key_hash(op.key));
+                        // Cannot fail persistently: exclusive holders only
+                        // exist in in-progress, which starts later.
+                        while !self.store.latches[b].try_shared() {
+                            std::hint::spin_loop();
+                        }
+                        op.latch = Some(b);
+                    }
+                }
+            }
+            VersionGrain::Coarse => {
+                let mut guard = self.store.pending_v_keys.lock();
+                for op in &mut self.pending {
+                    if op.tag == self.version && !op.guarded {
+                        guard.insert(op.key);
+                        op.guarded = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn txn_version(&self) -> u64 {
+        if self.phase >= Phase::InProgress {
+            self.version + 1
+        } else {
+            self.version
+        }
+    }
+
+    #[inline]
+    fn maybe_refresh(&mut self) {
+        self.ops_since_refresh += 1;
+        if self.ops_since_refresh >= self.store.refresh_every {
+            self.refresh();
+        }
+    }
+
+    // ---- public operations ------------------------------------------------
+
+    pub fn read(&mut self, key: u64) -> ReadResult<V> {
+        self.maybe_refresh();
+        self.serial += 1;
+        self.stats.reads += 1;
+        match self.drive(OpKind::Read, key, None) {
+            DriveResult::Done(Some(v)) => ReadResult::Found(v),
+            DriveResult::Done(None) => ReadResult::NotFound,
+            DriveResult::Pending => ReadResult::Pending,
+        }
+    }
+
+    pub fn upsert(&mut self, key: u64, value: V) -> Status {
+        self.maybe_refresh();
+        self.serial += 1;
+        self.stats.upserts += 1;
+        match self.drive(OpKind::Upsert, key, Some(value)) {
+            DriveResult::Done(_) => Status::Ok,
+            DriveResult::Pending => Status::Pending,
+        }
+    }
+
+    /// Read-modify-write: `new = rmw(old, input)`; a missing key is
+    /// initialized to `input`.
+    pub fn rmw(&mut self, key: u64, input: V) -> Status {
+        self.maybe_refresh();
+        self.serial += 1;
+        self.stats.rmws += 1;
+        match self.drive(OpKind::Rmw, key, Some(input)) {
+            DriveResult::Done(_) => Status::Ok,
+            DriveResult::Pending => Status::Pending,
+        }
+    }
+
+    pub fn delete(&mut self, key: u64) -> Status {
+        self.maybe_refresh();
+        self.serial += 1;
+        self.stats.deletes += 1;
+        match self.drive(OpKind::Delete, key, None) {
+            DriveResult::Done(_) => Status::Ok,
+            DriveResult::Pending => Status::Pending,
+        }
+    }
+
+    // ---- op driver ----------------------------------------------------------
+
+    fn drive(&mut self, kind: OpKind, key: u64, input: Option<V>) -> DriveResult<V> {
+        loop {
+            // Fine grain, prepare phase: every request takes the bucket's
+            // shared latch (paper Alg. 4); failure means the CPR shift
+            // has begun.
+            let mut latch: Option<usize> = None;
+            if self.phase == Phase::Prepare && self.store.grain == VersionGrain::Fine {
+                let b = self.store.index.bucket_index(key_hash(key));
+                if !self.store.latches[b].try_shared() {
+                    self.refresh(); // CPR_SHIFT_DETECTED
+                    continue;
+                }
+                latch = Some(b);
+            }
+            let tag = self.txn_version();
+            match self.run_op(kind, key, input, tag, None) {
+                Outcome::Done(v) => {
+                    if let Some(b) = latch {
+                        self.store.latches[b].release_shared();
+                    }
+                    self.store.registry.set_serial(self.slot_idx, self.serial);
+                    return DriveResult::Done(v);
+                }
+                Outcome::Shift => {
+                    if let Some(b) = latch {
+                        self.store.latches[b].release_shared();
+                    }
+                    self.refresh();
+                    continue;
+                }
+                Outcome::Retry => {
+                    if let Some(b) = latch {
+                        self.store.latches[b].release_shared();
+                    }
+                    continue;
+                }
+                Outcome::Pend(io) => {
+                    // Pre-point pendings keep their protection: the shared
+                    // latch (fine) or a key guard (coarse).
+                    let keep_latch = latch.take_if(|_| tag == self.version);
+                    if let Some(b) = latch {
+                        self.store.latches[b].release_shared();
+                    }
+                    let guarded = self.store.grain == VersionGrain::Coarse
+                        && tag == self.version
+                        && self.phase != Phase::Rest;
+                    if guarded {
+                        self.store.pending_v_keys.lock().insert(key);
+                    }
+                    self.store.pending_count[(tag & 1) as usize].fetch_add(1, Ordering::AcqRel);
+                    let (io_addr, io) = match io {
+                        Some((a, r)) => (a, Some(r)),
+                        None => (INVALID_ADDRESS, None),
+                    };
+                    self.pending.push(Pending {
+                        serial: self.serial,
+                        kind,
+                        key,
+                        input,
+                        tag,
+                        latch: keep_latch,
+                        guarded,
+                        io,
+                        io_addr,
+                    });
+                    self.stats.went_pending += 1;
+                    self.store.registry.set_serial(self.slot_idx, self.serial);
+                    return DriveResult::Pending;
+                }
+            }
+        }
+    }
+
+    /// One attempt at an operation. `io_data` carries a fetched disk
+    /// record (addr, bytes) when resolving an I/O pending op.
+    fn run_op(
+        &mut self,
+        kind: OpKind,
+        key: u64,
+        input: Option<V>,
+        tag: u64,
+        io_data: Option<(Address, &[u8])>,
+    ) -> Outcome<V> {
+        let store = Arc::clone(&self.store);
+        let hl = &store.hlog;
+        let hash = key_hash(key);
+
+        let slot = match kind {
+            OpKind::Read => match store.index.find(hash) {
+                Some(s) => s,
+                None => return Outcome::Done(None),
+            },
+            _ => store.index.find_or_create(hash),
+        };
+        let entry = slot.address();
+        let head = hl.head();
+        let ro = hl.read_only();
+        let safe_ro = hl.safe_read_only();
+
+        // Walk the in-memory chain for our key.
+        let mut addr = entry;
+        let mut found: Option<(Address, Header)> = None;
+        while addr >= hl.begin_address() {
+            if addr < head {
+                break; // continues on disk
+            }
+            let h = hl.header_at(addr);
+            if !h.invalid && hl.key_at(addr) == key {
+                found = Some((addr, h));
+                break;
+            }
+            addr = h.prev;
+        }
+
+        let vnext13 = version13(self.version + 1);
+        let is_next = tag > self.version;
+
+        match found {
+            Some((_raddr, h)) if h.tombstone => match kind {
+                OpKind::Read => Outcome::Done(None),
+                OpKind::Delete => Outcome::Done(None),
+                // Re-create over the tombstone.
+                _ => self.append_record(&slot, entry, key, kind, input, None, tag),
+            },
+            Some((raddr, h)) => {
+                // Prepare-phase shift detection: a record already at
+                // version v+1 means the commit has begun (Alg. 4).
+                if self.phase == Phase::Prepare && tag == self.version && h.version == vnext13 {
+                    return Outcome::Shift;
+                }
+                if kind == OpKind::Read {
+                    self.scratch.resize(store.value_words, 0);
+                    hl.value_at(raddr, &mut self.scratch);
+                    return Outcome::Done(Some(value_from_words(&self.scratch)));
+                }
+                if is_next && h.version != vnext13 {
+                    // Post-point update over a pre-point record: hand the
+                    // record over to version v+1 (Alg. 5).
+                    return self
+                        .handoff_update(&slot, entry, raddr, key, kind, input, tag, safe_ro);
+                }
+                // Same-version regional logic.
+                if raddr >= ro {
+                    self.update_in_place(raddr, h, kind, input);
+                    Outcome::Done(None)
+                } else if raddr >= safe_ro {
+                    Outcome::Pend(None) // fuzzy region (Sec. 5.1)
+                } else {
+                    // Immutable (read-only region): read-copy-update.
+                    self.append_record(&slot, entry, key, kind, input, Some(raddr), tag)
+                }
+            }
+            None if addr >= hl.begin_address() => {
+                // Chain continues on disk at `addr`.
+                self.resolve_disk(&slot, entry, addr, key, kind, input, tag, io_data, safe_ro)
+            }
+            None => match kind {
+                OpKind::Read | OpKind::Delete => Outcome::Done(None),
+                _ => self.append_record(&slot, entry, key, kind, input, None, tag),
+            },
+        }
+    }
+
+    /// In-place update in the mutable region.
+    fn update_in_place(&mut self, raddr: Address, h: Header, kind: OpKind, input: Option<V>) {
+        let store = &self.store;
+        let hl = &store.hlog;
+        match kind {
+            OpKind::Upsert => {
+                value_to_words(
+                    &input.expect("upsert input"),
+                    &mut self.scratch,
+                    store.value_words,
+                );
+                hl.set_value_at(raddr, &self.scratch);
+            }
+            OpKind::Rmw => {
+                let input = input.expect("rmw input");
+                if store.value_words == 1 {
+                    // Atomic single-word RMW (the paper's running sums).
+                    loop {
+                        let old = hl.word(raddr + 16).load(Ordering::Acquire);
+                        let oldv = value_from_words::<V>(&[old]);
+                        value_to_words(&(store.rmw)(oldv, input), &mut self.scratch, 1);
+                        if hl.cas_value_word(raddr, old, self.scratch[0]) {
+                            break;
+                        }
+                    }
+                } else {
+                    self.scratch.resize(store.value_words, 0);
+                    hl.value_at(raddr, &mut self.scratch);
+                    let oldv = value_from_words::<V>(&self.scratch);
+                    value_to_words(
+                        &(store.rmw)(oldv, input),
+                        &mut self.scratch2,
+                        store.value_words,
+                    );
+                    hl.set_value_at(raddr, &self.scratch2);
+                }
+            }
+            OpKind::Delete => {
+                store.hlog.set_header(raddr, h.with_tombstone());
+            }
+            OpKind::Read => unreachable!("reads never update"),
+        }
+    }
+
+    /// Post-point update of a pre-point record (paper Alg. 5): the record
+    /// must be copied to the tail as version v+1 without racing pre-point
+    /// in-place updates.
+    #[allow(clippy::too_many_arguments)]
+    fn handoff_update(
+        &mut self,
+        slot: &Slot<'_>,
+        entry: Address,
+        raddr: Address,
+        key: u64,
+        kind: OpKind,
+        input: Option<V>,
+        tag: u64,
+        safe_ro: Address,
+    ) -> Outcome<V> {
+        let store = Arc::clone(&self.store);
+        match store.grain {
+            VersionGrain::Fine => {
+                let b = store.index.bucket_index(key_hash(key));
+                match self.phase {
+                    Phase::InProgress => {
+                        if store.latches[b].try_exclusive() {
+                            let out =
+                                self.append_record(slot, entry, key, kind, input, Some(raddr), tag);
+                            store.latches[b].release_exclusive();
+                            out
+                        } else {
+                            Outcome::Pend(None)
+                        }
+                    }
+                    Phase::WaitPending => {
+                        if store.latches[b].shared_count() == 0 {
+                            self.append_record(slot, entry, key, kind, input, Some(raddr), tag)
+                        } else {
+                            Outcome::Pend(None)
+                        }
+                    }
+                    // Wait-flush (and the rest-phase tail of a commit):
+                    // all pre-point work is done; copy freely.
+                    _ => self.append_record(slot, entry, key, kind, input, Some(raddr), tag),
+                }
+            }
+            VersionGrain::Coarse => {
+                if store.pending_v_keys.lock().contains(&key) {
+                    return Outcome::Pend(None);
+                }
+                if raddr < safe_ro || self.phase >= Phase::WaitPending {
+                    self.append_record(slot, entry, key, kind, input, Some(raddr), tag)
+                } else {
+                    // The pre-point record is still mutable: wait until it
+                    // is safely immutable (Appx. C).
+                    Outcome::Pend(None)
+                }
+            }
+        }
+    }
+
+    /// Resolve an operation whose chain continues on disk.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_disk(
+        &mut self,
+        slot: &Slot<'_>,
+        entry: Address,
+        disk_addr: Address,
+        key: u64,
+        kind: OpKind,
+        input: Option<V>,
+        tag: u64,
+        io_data: Option<(Address, &[u8])>,
+        safe_ro: Address,
+    ) -> Outcome<V> {
+        let store = Arc::clone(&self.store);
+        let hl = &store.hlog;
+        let rec_size = hl.rec.record_size();
+
+        if let Some((fetched_addr, bytes)) = io_data {
+            if fetched_addr == disk_addr && bytes.len() >= rec_size {
+                let h = Header::unpack(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+                let rkey = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+                if !h.invalid && rkey == key {
+                    if h.tombstone {
+                        return match kind {
+                            OpKind::Read | OpKind::Delete => Outcome::Done(None),
+                            _ => self.append_record(slot, entry, key, kind, input, None, tag),
+                        };
+                    }
+                    let mut words = vec![0u64; store.value_words];
+                    for (i, w) in words.iter_mut().enumerate() {
+                        *w = u64::from_le_bytes(bytes[16 + 8 * i..24 + 8 * i].try_into().unwrap());
+                    }
+                    let value: V = value_from_words(&words);
+                    return match kind {
+                        OpKind::Read => Outcome::Done(Some(value)),
+                        OpKind::Delete => self.append_with_base(
+                            slot,
+                            entry,
+                            key,
+                            kind,
+                            input,
+                            Some(value),
+                            tag,
+                            safe_ro,
+                        ),
+                        OpKind::Upsert | OpKind::Rmw => self.append_with_base(
+                            slot,
+                            entry,
+                            key,
+                            kind,
+                            input,
+                            Some(value),
+                            tag,
+                            safe_ro,
+                        ),
+                    };
+                }
+                // Wrong key (hash-chain collision) or invalid: follow the
+                // chain further down the log.
+                if !h.invalid && h.prev >= hl.begin_address() {
+                    return self.issue_or_wait(h.prev);
+                }
+                // Chain exhausted: key absent.
+                return match kind {
+                    OpKind::Read | OpKind::Delete => Outcome::Done(None),
+                    _ => self.append_record(slot, entry, key, kind, input, None, tag),
+                };
+            }
+            // Stale fetch (chain shape changed): fall through and re-issue.
+        }
+        self.issue_or_wait(disk_addr)
+    }
+
+    fn issue_or_wait(&mut self, addr: Address) -> Outcome<V> {
+        let hl = &self.store.hlog;
+        if addr < hl.flushed_durable() {
+            let read = self.store.io.read(addr, hl.rec.record_size());
+            Outcome::Pend(Some((addr, read)))
+        } else {
+            // Flush still in flight; retry on a later refresh.
+            Outcome::Pend(None)
+        }
+    }
+
+    /// RCU / insert with a disk-fetched base value: still subject to the
+    /// hand-off rules when the op is post-point.
+    #[allow(clippy::too_many_arguments)]
+    fn append_with_base(
+        &mut self,
+        slot: &Slot<'_>,
+        entry: Address,
+        key: u64,
+        kind: OpKind,
+        input: Option<V>,
+        base: Option<V>,
+        tag: u64,
+        safe_ro: Address,
+    ) -> Outcome<V> {
+        let store = Arc::clone(&self.store);
+        if tag > self.version {
+            // Post-point op resolving a disk record: respect the same
+            // protections as an in-memory hand-off.
+            match store.grain {
+                VersionGrain::Fine => {
+                    let b = store.index.bucket_index(key_hash(key));
+                    let allowed = match self.phase {
+                        Phase::InProgress => store.latches[b].try_exclusive(),
+                        Phase::WaitPending => store.latches[b].shared_count() == 0,
+                        _ => true,
+                    };
+                    if self.phase == Phase::InProgress {
+                        if !allowed {
+                            return Outcome::Pend(None);
+                        }
+                        let out = self.append_base_inner(slot, entry, key, kind, input, base, tag);
+                        store.latches[b].release_exclusive();
+                        return out;
+                    }
+                    if !allowed {
+                        return Outcome::Pend(None);
+                    }
+                }
+                VersionGrain::Coarse => {
+                    if store.pending_v_keys.lock().contains(&key) {
+                        return Outcome::Pend(None);
+                    }
+                    let _ = safe_ro; // disk records are immutable by definition
+                }
+            }
+        }
+        self.append_base_inner(slot, entry, key, kind, input, base, tag)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn append_base_inner(
+        &mut self,
+        slot: &Slot<'_>,
+        entry: Address,
+        key: u64,
+        kind: OpKind,
+        input: Option<V>,
+        base: Option<V>,
+        tag: u64,
+    ) -> Outcome<V> {
+        let store = Arc::clone(&self.store);
+        let value = match (kind, base) {
+            (OpKind::Upsert, _) => input.expect("upsert input"),
+            (OpKind::Rmw, Some(b)) => (store.rmw)(b, input.expect("rmw input")),
+            (OpKind::Rmw, None) => input.expect("rmw input"),
+            (OpKind::Delete, b) => {
+                b.unwrap_or_else(|| value_from_words(&vec![0; store.value_words]))
+            }
+            (OpKind::Read, _) => unreachable!(),
+        };
+        value_to_words(&value, &mut self.scratch, store.value_words);
+        let addr = store.hlog.allocate(&self.guard);
+        let mut header = Header::new(entry, tag);
+        if kind == OpKind::Delete {
+            header = header.with_tombstone();
+        }
+        store.hlog.write_record(addr, header, key, &self.scratch);
+        if slot.try_update(entry, addr) {
+            Outcome::Done(None)
+        } else {
+            store.hlog.set_header(addr, header.with_invalid());
+            Outcome::Retry
+        }
+    }
+
+    /// Append a new version of `key` at the tail (RCU when `src` names an
+    /// immutable source record, plain insert otherwise), then CAS the
+    /// index slot.
+    #[allow(clippy::too_many_arguments)]
+    fn append_record(
+        &mut self,
+        slot: &Slot<'_>,
+        entry: Address,
+        key: u64,
+        kind: OpKind,
+        input: Option<V>,
+        src: Option<Address>,
+        tag: u64,
+    ) -> Outcome<V> {
+        let base = src.map(|raddr| {
+            self.scratch2.resize(self.store.value_words, 0);
+            self.store.hlog.value_at(raddr, &mut self.scratch2);
+            value_from_words::<V>(&self.scratch2)
+        });
+        self.append_base_inner(slot, entry, key, kind, input, base, tag)
+    }
+}
+
+enum DriveResult<V> {
+    Done(Option<V>),
+    Pending,
+}
+
+impl<V: Pod> Drop for FasterSession<V> {
+    fn drop(&mut self) {
+        // Drain pendings so an in-flight commit is not stranded.
+        for _ in 0..10_000 {
+            if self.pending.is_empty() {
+                break;
+            }
+            self.refresh();
+            if !self.pending.is_empty() {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+        }
+        // Force-release anything still stuck (abandoned ops).
+        let ops = std::mem::take(&mut self.pending);
+        for op in ops {
+            if let Some(b) = op.latch {
+                self.store.latches[b].release_shared();
+            }
+            if op.guarded {
+                self.store.pending_v_keys.lock().remove(&op.key);
+            }
+            self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
+        }
+        self.store.registry.release(self.slot_idx);
+    }
+}

@@ -1,0 +1,461 @@
+//! The FASTER key-value store with CPR durability (paper Secs. 5–6).
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cpr_core::{CheckpointManifest, NoWaitLock, Phase, Pod, SessionRegistry, SystemState};
+use cpr_epoch::EpochManager;
+use cpr_storage::{CheckpointStore, Device, FileDevice};
+use crossbeam_utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+
+use crate::hlog::{HlogConfig, HybridLog};
+use crate::index::HashIndex;
+use crate::io::IoPool;
+use crate::session::FasterSession;
+
+/// How the volatile version-`v` records are captured (paper Appx. D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointVariant {
+    /// Advance the read-only offset to the tail: the log file itself is
+    /// the (incremental) checkpoint. Post-commit updates pay a
+    /// read-copy-update until the working set migrates back.
+    FoldOver,
+    /// Write the volatile region to a separate snapshot file; the mutable
+    /// region reopens for in-place updates right after the commit.
+    Snapshot,
+}
+
+/// How threads hand records over to the next version (paper Appx. C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionGrain {
+    /// Per-hash-bucket latches (lower latency, prepare-phase latch cost).
+    Fine,
+    /// Use the safe-read-only offset as a coarse marker; contended
+    /// requests go pending instead.
+    Coarse,
+}
+
+/// Store configuration.
+pub struct FasterOptions<V: Pod> {
+    pub index_buckets: usize,
+    pub hlog: HlogConfig,
+    /// Directory holding `log.dat` and the checkpoint store.
+    pub dir: PathBuf,
+    /// Ops between session refreshes.
+    pub refresh_every: u64,
+    pub grain: VersionGrain,
+    pub max_sessions: usize,
+    pub io_threads: usize,
+    /// RMW semantics: `new = rmw(old, input)`; a missing key starts from
+    /// `input`.
+    pub rmw: fn(V, V) -> V,
+}
+
+impl FasterOptions<u64> {
+    /// The paper's YCSB RMW workload: a running per-key sum.
+    pub fn u64_sums(dir: impl Into<PathBuf>) -> Self {
+        FasterOptions {
+            index_buckets: 1 << 12,
+            hlog: HlogConfig::small_for_tests(),
+            dir: dir.into(),
+            refresh_every: 64,
+            grain: VersionGrain::Fine,
+            max_sessions: 64,
+            io_threads: 2,
+            rmw: |old, input| old.wrapping_add(input),
+        }
+    }
+}
+
+impl<V: Pod> FasterOptions<V> {
+    pub fn with_hlog(mut self, hlog: HlogConfig) -> Self {
+        self.hlog = hlog;
+        self
+    }
+    pub fn with_grain(mut self, g: VersionGrain) -> Self {
+        self.grain = g;
+        self
+    }
+    pub fn with_index_buckets(mut self, n: usize) -> Self {
+        self.index_buckets = n;
+        self
+    }
+    pub fn with_refresh_every(mut self, k: u64) -> Self {
+        self.refresh_every = k;
+        self
+    }
+}
+
+/// Commit observer: `(committed version, per-session CPR points)`.
+pub type CommitCallback = Box<dyn Fn(u64, &[cpr_core::SessionCpr]) + Send + Sync>;
+
+/// A checkpoint in flight.
+pub(crate) struct CkptCtx {
+    pub token: u64,
+    pub variant: CheckpointVariant,
+    pub log_only: bool,
+    pub lhs: u64,
+    pub started: Instant,
+    pub phase_marks: Vec<(Phase, Duration)>,
+}
+
+pub(crate) struct StoreInner<V: Pod> {
+    pub(crate) index: HashIndex,
+    pub(crate) latches: Box<[NoWaitLock]>,
+    pub(crate) hlog: Arc<HybridLog>,
+    pub(crate) epoch: Arc<EpochManager>,
+    pub(crate) state: SystemState,
+    pub(crate) registry: SessionRegistry,
+    pub(crate) committed_version: AtomicU64,
+    pub(crate) commit_lock: Mutex<()>,
+    pub(crate) commit_cv: Condvar,
+    pub(crate) store: CheckpointStore,
+    /// Outstanding pending operations per version parity (gates the
+    /// wait-pending → wait-flush transition).
+    pub(crate) pending_count: [CachePadded<AtomicU64>; 2],
+    /// Coarse grain: keys with outstanding pre-point (version v) pending
+    /// ops; post-point writers must not overtake them.
+    pub(crate) pending_v_keys: Mutex<HashSet<u64>>,
+    pub(crate) io: IoPool,
+    pub(crate) ckpt: Mutex<Option<CkptCtx>>,
+    ckpt_tx: Mutex<Option<crossbeam::channel::Sender<u64>>>,
+    ckpt_thread: Mutex<Option<JoinHandle<()>>>,
+    pub(crate) recovered_sessions: HashMap<u64, u64>,
+    pub(crate) last_phase_marks: Mutex<Vec<(Phase, Duration)>>,
+    /// Commit observers (paper Sec. 5.2): called with (version, CPR
+    /// points) after every durable commit, on the checkpoint thread.
+    pub(crate) commit_callbacks: Mutex<Vec<CommitCallback>>,
+    pub(crate) refresh_every: u64,
+    pub(crate) grain: VersionGrain,
+    pub(crate) rmw: fn(V, V) -> V,
+    pub(crate) value_words: usize,
+}
+
+/// Handle to a FASTER store; cheap to clone.
+pub struct FasterKv<V: Pod> {
+    pub(crate) inner: Arc<StoreInner<V>>,
+}
+
+impl<V: Pod> Clone for FasterKv<V> {
+    fn clone(&self) -> Self {
+        FasterKv {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V: Pod> FasterKv<V> {
+    /// Open a fresh store (truncates any existing log).
+    pub fn open(opts: FasterOptions<V>) -> io::Result<Self> {
+        std::fs::create_dir_all(&opts.dir)?;
+        let device: Arc<dyn Device> = Arc::new(FileDevice::create(opts.dir.join("log.dat"))?);
+        Self::build(opts, device, None)
+    }
+
+    /// Recover from the newest committed checkpoint (paper Sec. 6.4 /
+    /// Alg. 3). Returns the manifest used, if any.
+    pub fn recover(opts: FasterOptions<V>) -> io::Result<(Self, Option<CheckpointManifest>)> {
+        crate::recovery::recover(opts)
+    }
+
+    pub(crate) fn build(
+        opts: FasterOptions<V>,
+        device: Arc<dyn Device>,
+        recovered: Option<(HashIndex, u64, HashMap<u64, u64>)>,
+    ) -> io::Result<Self> {
+        let epoch = Arc::new(EpochManager::new(opts.max_sessions + 8));
+        assert_eq!(
+            opts.hlog.value_size,
+            std::mem::size_of::<V>(),
+            "hlog value_size must match size_of::<V>()"
+        );
+        let hlog = HybridLog::new(opts.hlog, Arc::clone(&device), Arc::clone(&epoch));
+        let (index, version, sessions) = match recovered {
+            Some((index, version, sessions)) => (index, version, sessions),
+            None => (HashIndex::new(opts.index_buckets), 1, HashMap::new()),
+        };
+        let latch_count = index.bucket_count();
+        let store = CheckpointStore::open(opts.dir.join("checkpoints"))?;
+        let io = IoPool::new(device, opts.io_threads);
+        let inner = Arc::new(StoreInner {
+            latches: (0..latch_count).map(|_| NoWaitLock::new()).collect(),
+            index,
+            hlog,
+            epoch,
+            state: SystemState::at_version(version),
+            registry: SessionRegistry::new(opts.max_sessions),
+            committed_version: AtomicU64::new(version - 1),
+            commit_lock: Mutex::new(()),
+            commit_cv: Condvar::new(),
+            store,
+            pending_count: [
+                CachePadded::new(AtomicU64::new(0)),
+                CachePadded::new(AtomicU64::new(0)),
+            ],
+            pending_v_keys: Mutex::new(HashSet::new()),
+            io,
+            ckpt: Mutex::new(None),
+            ckpt_tx: Mutex::new(None),
+            ckpt_thread: Mutex::new(None),
+            recovered_sessions: sessions,
+            last_phase_marks: Mutex::new(Vec::new()),
+            commit_callbacks: Mutex::new(Vec::new()),
+            refresh_every: opts.refresh_every,
+            grain: opts.grain,
+            rmw: opts.rmw,
+            value_words: crate::header::RecordLayout::new(opts.hlog.value_size).value_words(),
+        });
+        // Checkpoint worker: runs the wait-flush work off the hot path.
+        // Holds only a Weak reference so dropping the last user handle
+        // tears the store down (no Arc cycle through the thread).
+        let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+        let worker = Arc::downgrade(&inner);
+        let handle = std::thread::Builder::new()
+            .name("cpr-faster-checkpoint".into())
+            .spawn(move || {
+                for version in rx {
+                    let Some(inner) = worker.upgrade() else { break };
+                    crate::checkpoint::run_wait_flush(&inner, version);
+                }
+            })
+            .expect("spawn checkpoint thread");
+        *inner.ckpt_tx.lock() = Some(tx);
+        *inner.ckpt_thread.lock() = Some(handle);
+        Ok(FasterKv { inner })
+    }
+
+    /// Start a session (paper Sec. 5.2). `guid` identifies it across
+    /// crashes.
+    pub fn start_session(&self, guid: u64) -> FasterSession<V> {
+        FasterSession::new(Arc::clone(&self.inner), guid, 0)
+    }
+
+    /// Re-establish a session after recovery: returns the session and the
+    /// serial number of its last recovered operation (its CPR point).
+    pub fn continue_session(&self, guid: u64) -> (FasterSession<V>, u64) {
+        let serial = self
+            .inner
+            .recovered_sessions
+            .get(&guid)
+            .copied()
+            .unwrap_or(0);
+        (
+            FasterSession::new(Arc::clone(&self.inner), guid, serial),
+            serial,
+        )
+    }
+
+    /// Request a CPR commit (paper Fig. 9a). Returns `false` if one is
+    /// already in flight. `log_only = true` skips the fuzzy index
+    /// checkpoint (paper Sec. 6.3: the index can be checkpointed far less
+    /// frequently).
+    pub fn request_checkpoint(&self, variant: CheckpointVariant, log_only: bool) -> bool {
+        let inner = &self.inner;
+        let v = inner.state.version();
+        if !inner
+            .state
+            .transition((Phase::Rest, v), (Phase::Prepare, v))
+        {
+            return false;
+        }
+        let token = inner.store.begin().expect("begin checkpoint");
+        *inner.ckpt.lock() = Some(CkptCtx {
+            token,
+            variant,
+            log_only,
+            lhs: inner.hlog.tail(),
+            started: Instant::now(),
+            phase_marks: vec![(Phase::Prepare, Duration::ZERO)],
+        });
+
+        let i1 = Arc::clone(inner);
+        let i2 = Arc::clone(inner);
+        inner.epoch.bump_epoch(
+            Some(Box::new(move || {
+                i1.registry.all_at_least(Phase::Prepare, v)
+            })),
+            Box::new(move || prepare_to_inprog(i2, v)),
+        );
+        true
+    }
+
+    /// Fuzzy checkpoint of the hash index alone (paper Sec. 6.3).
+    pub fn checkpoint_index(&self) -> io::Result<u64> {
+        crate::checkpoint::index_checkpoint(&self.inner)
+    }
+
+    /// Register a commit observer (paper Sec. 5.2): called with the
+    /// committed version and every session's CPR point after each durable
+    /// commit. Runs on the checkpoint thread — keep it brief.
+    pub fn on_commit(
+        &self,
+        callback: impl Fn(u64, &[cpr_core::SessionCpr]) + Send + Sync + 'static,
+    ) {
+        self.inner.commit_callbacks.lock().push(Box::new(callback));
+    }
+
+    /// Version of the newest durable commit (0 = none).
+    pub fn committed_version(&self) -> u64 {
+        self.inner.committed_version.load(Ordering::Acquire)
+    }
+
+    /// Current (phase, version) of the commit state machine.
+    pub fn state(&self) -> (Phase, u64) {
+        self.inner.state.load()
+    }
+
+    /// Block until the commit of `version` is durable (sessions must keep
+    /// refreshing). Returns `false` on timeout.
+    pub fn wait_for_version(&self, version: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.commit_lock.lock();
+        while self.committed_version() < version {
+            self.inner.epoch.try_drain();
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.inner
+                .commit_cv
+                .wait_for(&mut g, Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Per-phase durations of the last completed checkpoint (the §7.3.1
+    /// profile).
+    pub fn last_checkpoint_phases(&self) -> Vec<(Phase, Duration)> {
+        self.inner.last_phase_marks.lock().clone()
+    }
+
+    /// HybridLog tail (log growth metric of Fig. 12d / 18d).
+    pub fn log_tail(&self) -> u64 {
+        self.inner.hlog.tail()
+    }
+
+    /// Bytes written to the main log device so far.
+    pub fn log_durable(&self) -> u64 {
+        self.inner.hlog.flushed_durable()
+    }
+
+    pub fn hlog(&self) -> &Arc<HybridLog> {
+        &self.inner.hlog
+    }
+}
+
+fn prepare_to_inprog<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
+    let ok = inner
+        .state
+        .transition((Phase::Prepare, v), (Phase::InProgress, v));
+    debug_assert!(ok, "faster state machine out of sync (prepare)");
+    mark_phase(&inner, Phase::InProgress);
+    let epoch = Arc::clone(&inner.epoch);
+    let i1 = Arc::clone(&inner);
+    let i2 = inner;
+    epoch.bump_epoch(
+        Some(Box::new(move || {
+            i1.registry.all_at_least(Phase::InProgress, v)
+        })),
+        Box::new(move || inprog_to_waitpending(i2, v)),
+    );
+}
+
+fn inprog_to_waitpending<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
+    let ok = inner
+        .state
+        .transition((Phase::InProgress, v), (Phase::WaitPending, v));
+    debug_assert!(ok, "faster state machine out of sync (in-progress)");
+    mark_phase(&inner, Phase::WaitPending);
+    let epoch = Arc::clone(&inner.epoch);
+    let i1 = Arc::clone(&inner);
+    let i2 = inner;
+    epoch.bump_epoch(
+        Some(Box::new(move || {
+            i1.registry.all_at_least(Phase::WaitPending, v)
+                && i1.pending_count[(v & 1) as usize].load(Ordering::Acquire) == 0
+        })),
+        Box::new(move || waitpending_to_waitflush(i2, v)),
+    );
+}
+
+fn waitpending_to_waitflush<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
+    let ok = inner
+        .state
+        .transition((Phase::WaitPending, v), (Phase::WaitFlush, v));
+    debug_assert!(ok, "faster state machine out of sync (wait-pending)");
+    mark_phase(&inner, Phase::WaitFlush);
+    if let Some(tx) = inner.ckpt_tx.lock().as_ref() {
+        tx.send(v).expect("checkpoint thread alive");
+    }
+}
+
+pub(crate) fn mark_phase<V: Pod>(inner: &StoreInner<V>, phase: Phase) {
+    if let Some(ctx) = inner.ckpt.lock().as_mut() {
+        ctx.phase_marks.push((phase, ctx.started.elapsed()));
+    }
+}
+
+impl<V: Pod> Drop for StoreInner<V> {
+    fn drop(&mut self) {
+        self.ckpt_tx.lock().take();
+        if let Some(h) = self.ckpt_thread.lock().take() {
+            // The final Arc may be dropped *by the worker itself* (it
+            // upgrades its Weak per job); never join our own thread.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+// ---- value <-> word conversion --------------------------------------------
+
+/// Copy a value's bytes into `n` little-endian words (zero padded).
+pub(crate) fn value_to_words<V: Pod>(v: &V, out: &mut Vec<u64>, n: usize) {
+    out.clear();
+    out.resize(n, 0);
+    // SAFETY: Pod guarantees V is readable as bytes.
+    let src =
+        unsafe { std::slice::from_raw_parts(v as *const V as *const u8, std::mem::size_of::<V>()) };
+    // SAFETY: out has n*8 writable bytes.
+    let dst = unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, n * 8) };
+    dst[..src.len()].copy_from_slice(src);
+}
+
+/// Rebuild a value from its words.
+pub(crate) fn value_from_words<V: Pod>(words: &[u64]) -> V {
+    debug_assert!(words.len() * 8 >= std::mem::size_of::<V>());
+    // SAFETY: Pod guarantees any bit pattern of the right length is valid.
+    unsafe { std::ptr::read_unaligned(words.as_ptr() as *const V) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_word_roundtrip_u64() {
+        let mut w = Vec::new();
+        value_to_words(&0xDEADBEEFu64, &mut w, 1);
+        assert_eq!(w, vec![0xDEADBEEF]);
+        assert_eq!(value_from_words::<u64>(&w), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn value_word_roundtrip_odd_size() {
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        #[repr(C)]
+        struct V100([u8; 100]);
+        unsafe impl Pod for V100 {}
+        let v = V100(std::array::from_fn(|i| i as u8));
+        let mut w = Vec::new();
+        value_to_words(&v, &mut w, 13);
+        assert_eq!(w.len(), 13);
+        assert_eq!(value_from_words::<V100>(&w), v);
+    }
+}

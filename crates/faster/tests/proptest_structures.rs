@@ -1,0 +1,185 @@
+//! Property-based tests of FASTER's core structures against reference
+//! models: header packing, page arithmetic, the hash index vs a HashMap,
+//! and HybridLog write/read round-trips under random schedules.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use cpr_faster::addr::{PageLayout, ADDRESS_MASK};
+use cpr_faster::header::{version13, Header, RecordLayout};
+use cpr_faster::index::{key_hash, HashIndex};
+
+proptest! {
+    #[test]
+    fn header_pack_unpack_roundtrip(
+        prev in 0u64..=ADDRESS_MASK,
+        version in 0u64..8192,
+        invalid: bool,
+        tombstone: bool,
+    ) {
+        let h = Header { prev, version, invalid, tombstone };
+        prop_assert_eq!(Header::unpack(h.pack()), h);
+    }
+
+    #[test]
+    fn header_new_truncates_prev_and_version(prev: u64, version: u64) {
+        let h = Header::new(prev, version);
+        prop_assert_eq!(h.prev, prev & ADDRESS_MASK);
+        prop_assert_eq!(h.version, version13(version));
+        prop_assert!(!h.invalid && !h.tombstone);
+    }
+
+    #[test]
+    fn page_layout_split_join(page_bits in 9u32..=24, addr in 0u64..=ADDRESS_MASK) {
+        let l = PageLayout::new(page_bits);
+        let (p, o) = (l.page(addr), l.offset(addr));
+        prop_assert_eq!(l.address(p, o), addr);
+        prop_assert!(o < l.page_size());
+        prop_assert_eq!(l.page_start(p) + o, addr);
+    }
+
+    #[test]
+    fn record_layout_invariants(value_size in 1usize..=4096) {
+        let r = RecordLayout::new(value_size);
+        prop_assert_eq!(r.record_size() % 8, 0, "records are word-aligned");
+        prop_assert!(r.record_size() >= 16 + value_size);
+        prop_assert!(r.record_size() < 16 + value_size + 8);
+        prop_assert_eq!(r.value_words() * 8, r.record_size() - 16);
+    }
+
+    /// The index behaves like a map from key-hash groups to the last
+    /// installed address, modulo (bucket, tag) collisions — which must
+    /// *merge* keys, never lose or corrupt entries.
+    #[test]
+    fn index_against_model(
+        ops in prop::collection::vec((0u64..200, 24u64..1_000_000), 1..300),
+    ) {
+        let idx = HashIndex::new(64);
+        // Model keyed by (bucket, tag): the index's actual resolution.
+        let mut model: HashMap<(usize, u64), u64> = HashMap::new();
+        let tag_of = |key: u64| {
+            // Mirror the index's private tag: verified indirectly — two
+            // keys share a slot iff bucket and top bits collide. We model
+            // by bucket + full hash>>49.
+            (key_hash(key) >> 49) & ((1 << 14) - 1)
+        };
+        for &(key, addr) in &ops {
+            let addr = addr & !7; // aligned, >= 24
+            let h = key_hash(key);
+            let slot = idx.find_or_create(h);
+            loop {
+                let cur = slot.address();
+                if slot.try_update(cur, addr) {
+                    break;
+                }
+            }
+            model.insert((idx.bucket_index(h), tag_of(key)), addr);
+        }
+        for &(key, _) in &ops {
+            let h = key_hash(key);
+            let got = idx.find(h).map(|s| s.address());
+            let want = model.get(&(idx.bucket_index(h), tag_of(key))).copied();
+            prop_assert_eq!(got, want, "key {}", key);
+        }
+    }
+
+    /// Dump/load keeps every slot's address.
+    #[test]
+    fn index_dump_load_preserves_slots(
+        keys in prop::collection::hash_set(0u64..500, 1..120),
+    ) {
+        let idx = HashIndex::new(64);
+        for &k in &keys {
+            let slot = idx.find_or_create(key_hash(k));
+            loop {
+                let cur = slot.address();
+                if slot.try_update(cur, 24 * (k + 1)) {
+                    break;
+                }
+            }
+        }
+        let restored = HashIndex::load(&idx.dump()).unwrap();
+        for &k in &keys {
+            prop_assert_eq!(
+                idx.find(key_hash(k)).map(|s| s.address()),
+                restored.find(key_hash(k)).map(|s| s.address()),
+                "key {}", k
+            );
+        }
+    }
+}
+
+mod hlog_props {
+    use super::*;
+    use cpr_epoch::EpochManager;
+    use cpr_faster::hlog::{HlogConfig, HybridLog};
+    use cpr_storage::MemDevice;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Random write schedules round-trip through the log, offsets
+        /// stay ordered, and flushed prefixes match the device bytes.
+        #[test]
+        fn writes_roundtrip_and_offsets_are_ordered(
+            writes in prop::collection::vec((0u64..1000, 0u64..u64::MAX), 1..400),
+        ) {
+            let epoch = Arc::new(EpochManager::new(4));
+            let dev = MemDevice::new();
+            let log = HybridLog::new(
+                HlogConfig {
+                    page_bits: 10, // 1 KiB pages: force rollover + flush
+                    memory_pages: 8,
+                    mutable_pages: 4,
+                    value_size: 8,
+                },
+                dev,
+                Arc::clone(&epoch),
+            );
+            let guard = epoch.register();
+            let mut written = Vec::new();
+            for (i, &(key, val)) in writes.iter().enumerate() {
+                let addr = log.allocate(&guard);
+                log.write_record(addr, Header::new(0, 1), key, &[val]);
+                written.push((addr, key, val));
+                if i % 8 == 0 {
+                    guard.refresh();
+                }
+                // Offsets invariant at every step.
+                prop_assert!(log.head() <= log.safe_read_only());
+                prop_assert!(log.safe_read_only() <= log.read_only());
+                prop_assert!(log.read_only() <= log.tail());
+            }
+            guard.refresh();
+            // Everything still in memory reads back exactly.
+            let head = log.head();
+            for &(addr, key, val) in &written {
+                if addr >= head {
+                    prop_assert_eq!(log.key_at(addr), key);
+                    let mut w = [0u64; 1];
+                    log.value_at(addr, &mut w);
+                    prop_assert_eq!(w[0], val);
+                }
+            }
+            // Flushed prefix matches the device byte-for-byte.
+            log.wait_flushed(log.safe_read_only());
+            let flushed = log.flushed_durable();
+            for &(addr, key, val) in &written {
+                if addr + 24 <= flushed {
+                    let mut buf = [0u8; 24];
+                    log.device().read_at(addr, &mut buf).unwrap();
+                    prop_assert_eq!(
+                        u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+                        key
+                    );
+                    prop_assert_eq!(
+                        u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+                        val
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Checkpoint capture, load, and WAL replay.
+//!
+//! Capture implements the wait-flush pass of paper Alg. 2: for every
+//! record that existed in version `v`, persist its version-`v` value —
+//! `stable` if the record has already been shifted to `v + 1` by a
+//! concurrent post-CPR-point transaction, `live` otherwise. The pass runs
+//! on a background thread while version-`v + 1` transactions execute.
+//!
+//! File format (`db.dat`): `[count u64][(key u64, value bytes)*]`, little
+//! endian, values `size_of::<V>()` bytes each.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionCpr};
+use cpr_storage::CheckpointStore;
+
+use crate::db::DbInner;
+use crate::value::DbValue;
+
+/// Capture version `v` and complete the commit (runs on the capture
+/// worker thread).
+pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
+    let started = std::time::Instant::now();
+    let store = inner.store.as_ref().expect("capture requires a store");
+    let token = store.begin().expect("begin checkpoint");
+    // Delta checkpoints capture only records whose version-v image was
+    // produced by a version-v write; everything else is already covered
+    // by the base chain. The first commit is always full.
+    let base = inner
+        .opts
+        .incremental
+        .then(|| *inner.last_capture_token.lock())
+        .flatten();
+
+    let mut buf: Vec<u8> =
+        Vec::with_capacity(inner.table.len() * (8 + std::mem::size_of::<V>()) + 8);
+    buf.extend_from_slice(&0u64.to_le_bytes()); // count patched below
+    let mut count = 0u64;
+    inner.table.for_each(|key, rec| {
+        // Spin for a shared latch; all lock holders are try-lock based, so
+        // this cannot deadlock.
+        loop {
+            if rec.lock.try_shared() {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let birth = rec.birth();
+        if birth == 0 || birth > v {
+            // Never written, or born after the commit point: not part of
+            // version v.
+            rec.lock.release_shared();
+            return;
+        }
+        let (value, image_version) = if rec.version() == v + 1 {
+            (rec.read_stable(), rec.stable_modified())
+        } else {
+            (rec.read_live(), rec.modified())
+        };
+        rec.lock.release_shared();
+        if base.is_some() && image_version != v {
+            // Unchanged during cycle v: covered by the base chain.
+            return;
+        }
+        buf.extend_from_slice(&key.to_le_bytes());
+        cpr_core::pod_write(&value, &mut buf);
+        count += 1;
+    });
+    buf[..8].copy_from_slice(&count.to_le_bytes());
+
+    let path = store.file(token, "db.dat");
+    write_atomically(&path, &buf).expect("write checkpoint data");
+
+    let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, v);
+    manifest.records = Some(count);
+    manifest.base = base;
+    manifest.sessions = inner
+        .registry
+        .cpr_points()
+        .into_iter()
+        .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
+        .collect();
+    store.commit(&manifest).expect("commit manifest");
+
+    // Commit complete: back to rest at the next version.
+    let ok = inner
+        .state
+        .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
+    debug_assert!(ok, "state machine out of sync at capture completion");
+    inner.committed_version.store(v, Ordering::Release);
+    *inner.last_capture.lock() = Some(started.elapsed());
+    *inner.last_capture_token.lock() = Some(token);
+    let _g = inner.commit_lock.lock();
+    inner.commit_cv.notify_all();
+}
+
+fn write_atomically(path: &Path, data: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a checkpoint produced by [`capture`] into a fresh database.
+pub(crate) fn load<V: DbValue>(
+    inner: &DbInner<V>,
+    store: &CheckpointStore,
+    manifest: &CheckpointManifest,
+) -> io::Result<()> {
+    let data = std::fs::read(store.file(manifest.token, "db.dat"))?;
+    let rec_size = 8 + std::mem::size_of::<V>();
+    if data.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint truncated",
+        ));
+    }
+    let count = u64::from_le_bytes(data[..8].try_into().unwrap()) as usize;
+    if data.len() < 8 + count * rec_size {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint expects {count} records, file too short"),
+        ));
+    }
+    let mut off = 8;
+    for _ in 0..count {
+        let key = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+        let value: V = cpr_core::pod_read(&data[off + 8..off + rec_size]);
+        // Delta chains re-load keys: later (newer) checkpoints overwrite.
+        let (rec, inserted) = inner.table.get_or_insert(key, manifest.version, value);
+        assert!(rec.lock.try_exclusive(), "recovery load is single-threaded");
+        rec.write_live(value);
+        rec.set_birth_if_unset(manifest.version);
+        rec.set_modified(manifest.version);
+        rec.set_version(manifest.version);
+        rec.lock.release_exclusive();
+        let _ = inserted;
+        off += rec_size;
+    }
+    Ok(())
+}
+
+/// Replay a WAL generation file: apply every redo record in append order.
+pub(crate) fn replay_wal<V: DbValue>(inner: &DbInner<V>, path: &Path) -> io::Result<()> {
+    if !path.exists() {
+        return Ok(());
+    }
+    let version = inner.state.version();
+    crate::wal::Wal::replay(path, |payload| {
+        if payload.len() < 8 {
+            return;
+        }
+        let n = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
+        let rec_size = 8 + std::mem::size_of::<V>();
+        let mut off = 8;
+        for _ in 0..n {
+            if off + rec_size > payload.len() {
+                return; // torn record: stop applying this payload
+            }
+            let key = u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+            let value: V = cpr_core::pod_read(&payload[off + 8..off + rec_size]);
+            let (rec, _) = inner.table.get_or_insert(key, version, V::from_seed(0));
+            // Replay is single-threaded; locks still taken for discipline.
+            assert!(rec.lock.try_exclusive(), "replay is single-threaded");
+            rec.write_live(value);
+            rec.set_birth_if_unset(version);
+            rec.lock.release_exclusive();
+            off += rec_size;
+        }
+    })
+}

@@ -1,0 +1,412 @@
+//! Client sessions and the transaction executor (paper Alg. 1).
+//!
+//! All transactions of a client are processed by one thread; a [`Session`]
+//! is that thread's handle. It carries the thread-local view of the global
+//! (phase, version), refreshed lazily via the epoch framework; avoiding
+//! per-transaction synchronization of this state is the key to CPR's
+//! scalability.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cpr_core::Phase;
+
+use crate::db::{DbInner, Durability};
+use crate::error::Abort;
+use crate::record::Record;
+use crate::stats::ClientStats;
+use crate::value::DbValue;
+
+/// Access mode, mirroring `cpr_workload::AccessType` without the
+/// dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    /// Blind write: the record takes `DbValue::from_seed(seed)`.
+    Write,
+    /// Read-modify-write: the record takes `old.merge(seed)` — atomic
+    /// within the transaction (both lock and apply under 2PL).
+    Merge,
+}
+
+/// One transaction: unique keys with access modes, plus a value seed per
+/// write (consumed in access order).
+#[derive(Debug, Clone)]
+pub struct TxnRequest<'a> {
+    pub accesses: &'a [(u64, Access)],
+    pub write_seeds: &'a [u64],
+}
+
+/// A client session (paper Sec. 5.2 applied to the transactional DB).
+pub struct Session<V: DbValue> {
+    db: Arc<DbInner<V>>,
+    guard: cpr_epoch::Guard,
+    slot: usize,
+    guid: u64,
+    /// Thread-local view of the global state machine.
+    phase: Phase,
+    version: u64,
+    /// Serial number of the last *committed* transaction.
+    serial: u64,
+    ops_since_refresh: u64,
+    /// CPR points awaiting durability: (db version, serial at point).
+    pending_points: VecDeque<(u64, u64)>,
+    durable_serial: u64,
+    pub stats: ClientStats,
+}
+
+impl<V: DbValue> Session<V> {
+    pub(crate) fn new(db: Arc<DbInner<V>>, guid: u64) -> Self {
+        let (phase, version) = db.state.load();
+        let slot = db.registry.acquire(guid, phase, version);
+        let guard = db.epoch.register();
+        Session {
+            db,
+            guard,
+            slot,
+            guid,
+            phase,
+            version,
+            serial: 0,
+            ops_since_refresh: 0,
+            pending_points: VecDeque::new(),
+            durable_serial: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    pub fn guid(&self) -> u64 {
+        self.guid
+    }
+
+    /// Serial number of the last committed transaction.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// Thread-local (phase, version) view.
+    pub fn view(&self) -> (Phase, u64) {
+        (self.phase, self.version)
+    }
+
+    /// Publish the local epoch, adopt any global state change, and mark a
+    /// CPR point when crossing prepare → in-progress (paper Alg. 1).
+    pub fn refresh(&mut self) {
+        self.guard.refresh();
+        self.ops_since_refresh = 0;
+        let (gp, gv) = self.db.state.load();
+        if (gp, gv) == (self.phase, self.version) {
+            return;
+        }
+        let crossed = self.phase <= Phase::Prepare
+            && ((gv == self.version && gp >= Phase::InProgress) || gv > self.version);
+        if crossed {
+            let point = self.db.registry.mark_cpr_point(self.slot);
+            self.pending_points.push_back((self.version, point));
+        }
+        self.phase = gp;
+        self.version = gv;
+        self.db.registry.publish(self.slot, gp, gv);
+        if self.phase != Phase::Rest {
+            // A commit is in flight: cede the CPU so the capture thread
+            // makes progress even on a single core.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Largest serial number known durable for this session: every
+    /// transaction with serial ≤ this survives any crash.
+    pub fn durable_serial(&mut self) -> u64 {
+        match self.db.opts.durability {
+            Durability::Wal => {
+                // Group commit: everything synced so far. We approximate
+                // with the last explicit sync (tests call request_commit).
+                self.durable_serial
+            }
+            _ => {
+                let cv = self.db.committed_version.load(Ordering::Acquire);
+                while let Some(&(v, s)) = self.pending_points.front() {
+                    if v <= cv {
+                        self.durable_serial = self.durable_serial.max(s);
+                        self.pending_points.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                self.durable_serial
+            }
+        }
+    }
+
+    /// Execute one transaction. Reads are appended to `reads` (cleared
+    /// first). On `Abort::Conflict` the caller may retry; on
+    /// `Abort::CprShift` the session has already refreshed and an
+    /// immediate retry executes in the new phase (at most one such abort
+    /// per commit — paper Sec. 4.1).
+    pub fn execute(&mut self, txn: &TxnRequest<'_>, reads: &mut Vec<V>) -> Result<(), Abort> {
+        reads.clear();
+        self.ops_since_refresh += 1;
+        if self.ops_since_refresh >= self.db.opts.refresh_every {
+            self.refresh();
+        }
+        let profile = self.db.opts.profile;
+        let t0 = profile.then(Instant::now);
+
+        let result = match self.db.opts.durability {
+            Durability::Wal => self.exec_wal(txn, reads, profile),
+            _ => self.exec_versioned(txn, reads),
+        };
+
+        match result {
+            Ok(()) => {
+                self.serial += 1;
+                self.db.registry.set_serial(self.slot, self.serial);
+                self.stats.committed += 1;
+                if let Some(t0) = t0 {
+                    let side = self.stats.take_pending_side_ns();
+                    self.stats.exec_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(side);
+                }
+                Ok(())
+            }
+            Err(a) => {
+                match a {
+                    Abort::Conflict => self.stats.aborts_conflict += 1,
+                    Abort::CprShift => self.stats.aborts_cpr += 1,
+                }
+                if let Some(t0) = t0 {
+                    let _ = self.stats.take_pending_side_ns();
+                    self.stats.abort_ns += t0.elapsed().as_nanos() as u64;
+                }
+                if a == Abort::CprShift {
+                    // Paper: the thread refreshes immediately so the retry
+                    // runs in the new phase.
+                    self.refresh();
+                }
+                Err(a)
+            }
+        }
+    }
+
+    /// Executor for CPR / CALC / no-durability modes (paper Alg. 1).
+    fn exec_versioned(&mut self, txn: &TxnRequest<'_>, reads: &mut Vec<V>) -> Result<(), Abort> {
+        let table = &self.db.table;
+        let v = self.version;
+        let phase = self.phase;
+        // The version new records/writes belong to.
+        let txn_version = if phase >= Phase::InProgress { v + 1 } else { v };
+
+        // Acquire phase: lock the full read-write set (No-Wait).
+        let mut locked: Vec<(&Record<V>, bool)> = Vec::with_capacity(txn.accesses.len());
+        let mut fail: Option<Abort> = None;
+        'acquire: for &(key, access) in txn.accesses {
+            let (rec, _) = table.get_or_insert(key, txn_version, V::from_seed(0));
+            let exclusive = access != Access::Read;
+            let got = if exclusive {
+                rec.lock.try_exclusive()
+            } else {
+                rec.lock.try_shared()
+            };
+            if !got {
+                fail = Some(Abort::Conflict);
+                break 'acquire;
+            }
+            locked.push((rec, exclusive));
+
+            match phase {
+                Phase::Rest => {}
+                Phase::Prepare => {
+                    // A record already shifted to v+1 means the CPR shift
+                    // has begun: this transaction cannot belong to the
+                    // version-v commit.
+                    if rec.version() > v {
+                        fail = Some(Abort::CprShift);
+                        break 'acquire;
+                    }
+                }
+                Phase::InProgress | Phase::WaitPending | Phase::WaitFlush => {
+                    if rec.version() < txn_version {
+                        // Shift the record: capture its final version-v
+                        // value in `stable` before this v+1 transaction
+                        // touches `live`. Requires the exclusive lock.
+                        if exclusive {
+                            rec.copy_live_to_stable();
+                            rec.set_version(txn_version);
+                        } else if rec.lock.try_upgrade() {
+                            rec.copy_live_to_stable();
+                            rec.set_version(txn_version);
+                            rec.lock.downgrade();
+                        } else {
+                            fail = Some(Abort::Conflict);
+                            break 'acquire;
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(abort) = fail {
+            release_all(&locked);
+            return Err(abort);
+        }
+
+        // Execute phase: all locks held.
+        let mut seed_idx = 0;
+        for (i, &(_, access)) in txn.accesses.iter().enumerate() {
+            let (rec, _) = locked[i];
+            match access {
+                Access::Read => {
+                    reads.push(if rec.birth() == 0 {
+                        V::from_seed(0)
+                    } else {
+                        rec.read_live()
+                    });
+                    self.stats.reads += 1;
+                }
+                Access::Write => {
+                    rec.write_live(V::from_seed(txn.write_seeds[seed_idx]));
+                    rec.set_birth_if_unset(txn_version);
+                    rec.set_modified(txn_version);
+                    seed_idx += 1;
+                    self.stats.writes += 1;
+                }
+                Access::Merge => {
+                    let old = if rec.birth() == 0 {
+                        V::from_seed(0)
+                    } else {
+                        rec.read_live()
+                    };
+                    rec.write_live(old.merge(txn.write_seeds[seed_idx]));
+                    rec.set_birth_if_unset(txn_version);
+                    rec.set_modified(txn_version);
+                    seed_idx += 1;
+                    self.stats.writes += 1;
+                }
+            }
+        }
+
+        // CALC: every commit appends to the atomic commit log while locks
+        // are held — the measured serial bottleneck.
+        if let Some(log) = &self.db.commit_log {
+            let t = self.db.opts.profile.then(Instant::now);
+            log.append((self.guid << 32) | (self.serial + 1));
+            if let Some(t) = t {
+                self.stats.note_side_ns(t.elapsed().as_nanos() as u64, true);
+            }
+        }
+
+        release_all(&locked);
+        Ok(())
+    }
+
+    /// Executor for the WAL baseline: 2PL + redo record + group commit.
+    fn exec_wal(
+        &mut self,
+        txn: &TxnRequest<'_>,
+        reads: &mut Vec<V>,
+        profile: bool,
+    ) -> Result<(), Abort> {
+        let table = &self.db.table;
+        let mut locked: Vec<(&Record<V>, bool)> = Vec::with_capacity(txn.accesses.len());
+        for &(key, access) in txn.accesses {
+            let (rec, _) = table.get_or_insert(key, 1, V::from_seed(0));
+            let exclusive = access != Access::Read;
+            let got = if exclusive {
+                rec.lock.try_exclusive()
+            } else {
+                rec.lock.try_shared()
+            };
+            if !got {
+                release_all(&locked);
+                return Err(Abort::Conflict);
+            }
+            locked.push((rec, exclusive));
+        }
+
+        // Execute and build the redo record.
+        let mut payload: Vec<u8> = Vec::with_capacity(8 + txn.accesses.len() * 16);
+        let t_build = profile.then(Instant::now);
+        payload.extend_from_slice(&(txn.write_seeds.len() as u64).to_le_bytes());
+        let mut seed_idx = 0;
+        for (i, &(key, access)) in txn.accesses.iter().enumerate() {
+            let (rec, _) = locked[i];
+            match access {
+                Access::Read => {
+                    reads.push(if rec.birth() == 0 {
+                        V::from_seed(0)
+                    } else {
+                        rec.read_live()
+                    });
+                    self.stats.reads += 1;
+                }
+                Access::Write | Access::Merge => {
+                    let val = if access == Access::Write {
+                        V::from_seed(txn.write_seeds[seed_idx])
+                    } else if rec.birth() == 0 {
+                        V::from_seed(0).merge(txn.write_seeds[seed_idx])
+                    } else {
+                        rec.read_live().merge(txn.write_seeds[seed_idx])
+                    };
+                    rec.write_live(val);
+                    rec.set_birth_if_unset(1);
+                    // Redo-log the *result* value: replay is then
+                    // idempotent and order-faithful.
+                    payload.extend_from_slice(&key.to_le_bytes());
+                    cpr_core::pod_write(&val, &mut payload);
+                    seed_idx += 1;
+                    self.stats.writes += 1;
+                }
+            }
+        }
+        if let Some(t) = t_build {
+            self.stats
+                .note_side_ns(t.elapsed().as_nanos() as u64, false);
+        }
+
+        if seed_idx > 0 {
+            let wal = self.db.wal.as_ref().expect("wal");
+            // LSN allocation (tail contention) then the record copy (log
+            // write), measured separately when profiling.
+            let t_tail = profile.then(Instant::now);
+            let reservation = wal.reserve(payload.len());
+            if let Some(t) = t_tail {
+                self.stats.note_side_ns(t.elapsed().as_nanos() as u64, true);
+            }
+            let t_copy = profile.then(Instant::now);
+            reservation.fill(&payload);
+            if let Some(t) = t_copy {
+                self.stats
+                    .note_side_ns(t.elapsed().as_nanos() as u64, false);
+            }
+        }
+
+        release_all(&locked);
+        Ok(())
+    }
+
+    /// Record that everything up to the current serial was made durable by
+    /// an explicit WAL sync (used by the bench harness after
+    /// `request_commit` in WAL mode).
+    pub fn note_wal_synced(&mut self) {
+        self.durable_serial = self.serial;
+    }
+}
+
+fn release_all<V: DbValue>(locked: &[(&Record<V>, bool)]) {
+    for &(rec, exclusive) in locked.iter().rev() {
+        if exclusive {
+            rec.lock.release_exclusive();
+        } else {
+            rec.lock.release_shared();
+        }
+    }
+}
+
+impl<V: DbValue> Drop for Session<V> {
+    fn drop(&mut self) {
+        self.db.merged_stats.lock().merge(&self.stats);
+        self.db.registry.release(self.slot);
+        // The epoch guard drops afterwards, draining any pending actions.
+    }
+}

@@ -1,0 +1,495 @@
+//! The in-memory transactional database (paper Sec. 4).
+//!
+//! Shared-everything architecture: any thread can access any record;
+//! concurrency control is strict 2PL with No-Wait deadlock avoidance.
+//! Durability is pluggable: **CPR** (this paper), **CALC** (atomic commit
+//! log baseline), **WAL** (group-commit redo log baseline), or none.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionRegistry, SystemState};
+use cpr_epoch::EpochManager;
+use cpr_storage::CheckpointStore;
+use parking_lot::{Condvar, Mutex};
+
+use crate::calc::CommitLog;
+use crate::checkpoint;
+use crate::client::Session;
+use crate::stats::ClientStats;
+use crate::table::Table;
+use crate::value::DbValue;
+use crate::wal::Wal;
+
+/// Durability backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// No durability: pure in-memory execution.
+    None,
+    /// Concurrent Prefix Recovery (paper Sec. 4).
+    Cpr,
+    /// CALC baseline: CPR capture mechanics plus an atomic commit-log
+    /// append on every transaction commit (the measured serial
+    /// bottleneck).
+    Calc,
+    /// Traditional WAL with group commit.
+    Wal,
+}
+
+/// Database options.
+#[derive(Debug, Clone)]
+pub struct MemDbOptions {
+    pub durability: Durability,
+    /// Expected number of records (hash-table sizing hint).
+    pub capacity: usize,
+    /// Checkpoint / log directory (required unless `Durability::None`).
+    pub dir: Option<PathBuf>,
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Ops between epoch refreshes — the `k` of Alg. 1.
+    pub refresh_every: u64,
+    /// Collect the Fig. 10e time breakdown (adds two `Instant` reads per
+    /// transaction segment).
+    pub profile: bool,
+    /// WAL ring capacity in bytes (power of two).
+    pub wal_capacity: u64,
+    /// WAL group-commit window.
+    pub group_commit: Duration,
+    /// CALC commit-log ring capacity (entries).
+    pub commit_log_capacity: usize,
+    /// Incremental CPR checkpoints: capture only records modified since
+    /// the previous commit (paper Sec. 4.1's orthogonal optimization;
+    /// recovery applies the delta chain oldest → newest). The first
+    /// commit is always full.
+    pub incremental: bool,
+}
+
+impl MemDbOptions {
+    pub fn new(durability: Durability) -> Self {
+        MemDbOptions {
+            durability,
+            capacity: 1 << 16,
+            dir: None,
+            max_sessions: 64,
+            refresh_every: 64,
+            profile: false,
+            wal_capacity: 1 << 26, // 64 MiB
+            group_commit: Duration::from_millis(5),
+            commit_log_capacity: 1 << 20,
+            incremental: false,
+        }
+    }
+
+    pub fn capacity(mut self, c: usize) -> Self {
+        self.capacity = c;
+        self
+    }
+    pub fn dir(mut self, d: impl Into<PathBuf>) -> Self {
+        self.dir = Some(d.into());
+        self
+    }
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n;
+        self
+    }
+    pub fn refresh_every(mut self, k: u64) -> Self {
+        self.refresh_every = k;
+        self
+    }
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+    pub fn group_commit(mut self, d: Duration) -> Self {
+        self.group_commit = d;
+        self
+    }
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+}
+
+pub(crate) struct DbInner<V: DbValue> {
+    pub(crate) opts: MemDbOptions,
+    pub(crate) table: Table<V>,
+    pub(crate) state: SystemState,
+    pub(crate) registry: SessionRegistry,
+    pub(crate) epoch: Arc<EpochManager>,
+    /// Highest version whose checkpoint is durable (0 = none).
+    pub(crate) committed_version: AtomicU64,
+    pub(crate) commit_lock: Mutex<()>,
+    pub(crate) commit_cv: Condvar,
+    pub(crate) store: Option<CheckpointStore>,
+    pub(crate) commit_log: Option<CommitLog>,
+    pub(crate) wal: Option<Wal>,
+    capture_tx: Mutex<Option<crossbeam::channel::Sender<u64>>>,
+    capture_thread: Mutex<Option<JoinHandle<()>>>,
+    pub(crate) merged_stats: Mutex<ClientStats>,
+    /// Wall-clock duration of the last completed capture pass.
+    pub(crate) last_capture: Mutex<Option<Duration>>,
+    /// Token of the most recent Database checkpoint (delta base).
+    pub(crate) last_capture_token: Mutex<Option<u64>>,
+}
+
+/// Handle to a database; cheap to clone.
+pub struct MemDb<V: DbValue> {
+    pub(crate) inner: Arc<DbInner<V>>,
+}
+
+impl<V: DbValue> Clone for MemDb<V> {
+    fn clone(&self) -> Self {
+        MemDb {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V: DbValue> MemDb<V> {
+    /// Open a fresh database.
+    pub fn open(opts: MemDbOptions) -> io::Result<Self> {
+        Self::open_at_version(opts, 1)
+    }
+
+    fn open_at_version(opts: MemDbOptions, version: u64) -> io::Result<Self> {
+        let store = match (&opts.durability, &opts.dir) {
+            (Durability::Cpr | Durability::Calc, Some(dir)) => Some(CheckpointStore::open(dir)?),
+            (Durability::Cpr | Durability::Calc, None) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "CPR/CALC durability requires a directory",
+                ));
+            }
+            _ => None,
+        };
+        let wal = match (&opts.durability, &opts.dir) {
+            (Durability::Wal, Some(dir)) => {
+                std::fs::create_dir_all(dir)?;
+                let gen = next_wal_generation(dir)?;
+                Some(Wal::create(
+                    dir.join(format!("wal.{gen}.log")),
+                    opts.wal_capacity,
+                    opts.group_commit,
+                )?)
+            }
+            (Durability::Wal, None) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "WAL durability requires a directory",
+                ));
+            }
+            _ => None,
+        };
+        let commit_log = matches!(opts.durability, Durability::Calc)
+            .then(|| CommitLog::new(opts.commit_log_capacity));
+
+        let inner = Arc::new(DbInner {
+            table: Table::new(opts.capacity),
+            state: SystemState::at_version(version),
+            registry: SessionRegistry::new(opts.max_sessions),
+            epoch: Arc::new(EpochManager::new(opts.max_sessions + 8)),
+            committed_version: AtomicU64::new(version.saturating_sub(1)),
+            commit_lock: Mutex::new(()),
+            commit_cv: Condvar::new(),
+            store,
+            commit_log,
+            wal,
+            capture_tx: Mutex::new(None),
+            capture_thread: Mutex::new(None),
+            merged_stats: Mutex::new(ClientStats::default()),
+            last_capture: Mutex::new(None),
+            last_capture_token: Mutex::new(None),
+            opts,
+        });
+
+        if inner.store.is_some() {
+            let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+            // Weak: the capture thread must not keep the database alive.
+            let worker = Arc::downgrade(&inner);
+            let handle = std::thread::Builder::new()
+                .name("cpr-memdb-capture".into())
+                .spawn(move || {
+                    for version in rx {
+                        let Some(inner) = worker.upgrade() else { break };
+                        checkpoint::capture(&inner, version);
+                    }
+                })
+                .expect("spawn capture thread");
+            *inner.capture_tx.lock() = Some(tx);
+            *inner.capture_thread.lock() = Some(handle);
+        }
+        Ok(MemDb { inner })
+    }
+
+    /// Recover from the newest committed checkpoint (CPR/CALC) or by
+    /// replaying the redo log (WAL). Returns the manifest used, if any.
+    pub fn recover(opts: MemDbOptions) -> io::Result<(Self, Option<CheckpointManifest>)> {
+        match opts.durability {
+            Durability::Cpr | Durability::Calc => {
+                let dir = opts.dir.clone().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "recover requires dir")
+                })?;
+                let store = CheckpointStore::open(&dir)?;
+                let Some(manifest) =
+                    store.latest_matching(|m| m.kind == CheckpointKind::Database)?
+                else {
+                    return Ok((Self::open(opts)?, None));
+                };
+                // Collect the delta chain back to its full base, then
+                // apply it oldest → newest.
+                let mut chain = vec![manifest.clone()];
+                while let Some(base) = chain.last().unwrap().base {
+                    chain.push(store.manifest(base)?);
+                }
+                let db = Self::open_at_version(opts, manifest.version + 1)?;
+                for m in chain.iter().rev() {
+                    checkpoint::load(&db.inner, &store, m)?;
+                }
+                *db.inner.last_capture_token.lock() = Some(manifest.token);
+                Ok((db, Some(manifest)))
+            }
+            Durability::Wal => {
+                let dir = opts.dir.clone().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "recover requires dir")
+                })?;
+                // Collect existing generations *before* opening (which
+                // creates the next generation's file).
+                let gens = wal_generations(&dir)?;
+                let db = Self::open(opts)?;
+                for gen in gens {
+                    checkpoint::replay_wal(&db.inner, &dir.join(format!("wal.{gen}.log")))?;
+                }
+                Ok((db, None))
+            }
+            Durability::None => Ok((Self::open(opts)?, None)),
+        }
+    }
+
+    /// Pre-load a record (panics on duplicate key).
+    pub fn load(&self, key: u64, value: V) {
+        self.inner
+            .table
+            .insert(key, self.inner.state.version(), value);
+    }
+
+    /// Pre-load unless present (used when re-seeding after recovery).
+    pub fn load_if_absent(&self, key: u64, value: V) {
+        if self.inner.table.get(key).is_none() {
+            // Benign race with another loader: `insert` would panic, so go
+            // through the tolerant path and initialize via a write.
+            let version = self.inner.state.version();
+            let (rec, _) = self.inner.table.get_or_insert(key, version, value);
+            if rec.birth() == 0 {
+                loop {
+                    if rec.lock.try_exclusive() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                if rec.birth() == 0 {
+                    rec.write_live(value);
+                    rec.set_birth_if_unset(version);
+                }
+                rec.lock.release_exclusive();
+            }
+        }
+    }
+
+    /// Number of records (including uninitialized placeholders).
+    pub fn len(&self) -> usize {
+        self.inner.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Open a client session. `guid` identifies the session across crashes
+    /// (paper Sec. 5.2).
+    pub fn session(&self, guid: u64) -> Session<V> {
+        Session::new(Arc::clone(&self.inner), guid)
+    }
+
+    /// Read a record's live value (spins briefly for a shared lock).
+    /// Returns `None` for absent or never-written keys.
+    pub fn read(&self, key: u64) -> Option<V> {
+        let rec = self.inner.table.get(key)?;
+        loop {
+            if rec.lock.try_shared() {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let out = (rec.birth() != 0).then(|| rec.read_live());
+        rec.lock.release_shared();
+        out
+    }
+
+    /// Request a CPR/CALC commit (returns `false` if one is already in
+    /// flight) or force a WAL group-commit flush.
+    ///
+    /// The commit proceeds asynchronously: worker threads realize the
+    /// phase transitions as they refresh their epochs, and the version-`v`
+    /// snapshot is captured and persisted in the background. Use
+    /// [`MemDb::wait_for_version`] to await completion.
+    pub fn request_commit(&self) -> bool {
+        match self.inner.opts.durability {
+            Durability::None => false,
+            Durability::Wal => {
+                self.inner.wal.as_ref().expect("wal").sync();
+                let _g = self.inner.commit_lock.lock();
+                self.inner.commit_cv.notify_all();
+                true
+            }
+            Durability::Cpr | Durability::Calc => {
+                let v = self.inner.state.version();
+                if !self
+                    .inner
+                    .state
+                    .transition((Phase::Rest, v), (Phase::Prepare, v))
+                {
+                    return false;
+                }
+                let cond = {
+                    let inner = Arc::clone(&self.inner);
+                    move || inner.registry.all_at_least(Phase::Prepare, v)
+                };
+                let action = {
+                    let inner = Arc::clone(&self.inner);
+                    move || prepare_to_inprog(inner, v)
+                };
+                self.inner
+                    .epoch
+                    .bump_epoch(Some(Box::new(cond)), Box::new(action));
+                true
+            }
+        }
+    }
+
+    /// Version of the newest durable checkpoint (0 = none yet).
+    pub fn committed_version(&self) -> u64 {
+        self.inner.committed_version.load(Ordering::Acquire)
+    }
+
+    /// Current (phase, version) of the commit state machine.
+    pub fn state(&self) -> (Phase, u64) {
+        self.inner.state.load()
+    }
+
+    /// Block until the checkpoint of `version` is durable. Requires
+    /// worker sessions to keep refreshing (or none to be registered).
+    /// Returns `false` on timeout.
+    pub fn wait_for_version(&self, version: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.commit_lock.lock();
+        while self.committed_version() < version {
+            // Nudge the drain list in case no session is refreshing.
+            self.inner.epoch.try_drain();
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.inner
+                .commit_cv
+                .wait_for(&mut g, Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Convenience: request a commit and wait for it (panics on timeout).
+    pub fn commit_and_wait(&self, timeout: Duration) {
+        let v = self.inner.state.version();
+        if matches!(
+            self.inner.opts.durability,
+            Durability::Cpr | Durability::Calc
+        ) {
+            assert!(self.request_commit(), "commit already in flight");
+            assert!(
+                self.wait_for_version(v, timeout),
+                "commit of version {v} timed out in phase {:?}",
+                self.state()
+            );
+        } else {
+            self.request_commit();
+        }
+    }
+
+    /// Aggregated statistics from dropped sessions.
+    pub fn stats(&self) -> ClientStats {
+        self.inner.merged_stats.lock().clone()
+    }
+
+    /// Wall-clock duration of the most recent capture pass.
+    pub fn last_capture_duration(&self) -> Option<Duration> {
+        *self.inner.last_capture.lock()
+    }
+
+    /// WAL durable horizon in bytes (WAL mode only).
+    pub fn wal_durable_bytes(&self) -> Option<u64> {
+        self.inner.wal.as_ref().map(|w| w.durable())
+    }
+}
+
+fn prepare_to_inprog<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
+    let ok = inner
+        .state
+        .transition((Phase::Prepare, v), (Phase::InProgress, v));
+    debug_assert!(ok, "state machine out of sync");
+    let epoch = Arc::clone(&inner.epoch);
+    let cond_inner = Arc::clone(&inner);
+    let cond = move || cond_inner.registry.all_at_least(Phase::InProgress, v);
+    let action = move || inprog_to_waitflush(inner, v);
+    epoch.bump_epoch(Some(Box::new(cond)), Box::new(action));
+}
+
+fn inprog_to_waitflush<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
+    let ok = inner
+        .state
+        .transition((Phase::InProgress, v), (Phase::WaitFlush, v));
+    debug_assert!(ok, "state machine out of sync");
+    if let Some(tx) = inner.capture_tx.lock().as_ref() {
+        tx.send(v).expect("capture thread alive");
+    }
+}
+
+fn wal_generations(dir: &std::path::Path) -> io::Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    if dir.exists() {
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str().map(str::to_owned) else {
+                continue;
+            };
+            if let Some(rest) = name.strip_prefix("wal.") {
+                if let Some(gen) = rest.strip_suffix(".log") {
+                    if let Ok(g) = gen.parse::<u64>() {
+                        gens.push(g);
+                    }
+                }
+            }
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+fn next_wal_generation(dir: &std::path::Path) -> io::Result<u64> {
+    Ok(wal_generations(dir)?.last().map_or(0, |g| g + 1))
+}
+
+impl<V: DbValue> Drop for DbInner<V> {
+    fn drop(&mut self) {
+        // Close the capture channel, then join the worker.
+        self.capture_tx.lock().take();
+        if let Some(h) = self.capture_thread.lock().take() {
+            // The final Arc may be dropped *by the worker itself* (it
+            // upgrades its Weak per job); never join our own thread.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Transaction abort reasons.
+
+/// Why a transaction aborted. The executor never blocks: under No-Wait
+/// 2PL every conflict is an immediate abort, and during a CPR commit a
+/// thread may abort at most one transaction per commit (paper Sec. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// Lock conflict (No-Wait): retry later.
+    Conflict,
+    /// The transaction touched a record already shifted to the next
+    /// version while this thread was still in `prepare`. The client's
+    /// thread-local state has been refreshed; an immediate retry executes
+    /// in the new phase.
+    CprShift,
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Abort::Conflict => f.write_str("lock conflict (no-wait)"),
+            Abort::CprShift => f.write_str("CPR version shift detected"),
+        }
+    }
+}
+
+impl std::error::Error for Abort {}

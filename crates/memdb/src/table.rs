@@ -1,0 +1,266 @@
+//! A concurrent chained hash table from `u64` keys to [`Record`]s.
+//!
+//! The table supports lock-free lookup and insert (CAS push-front on the
+//! bucket head); records are never removed while the table is alive. This
+//! matches the paper's setting: data is pre-loaded, and the only runtime
+//! inserts come from TPC-C order/order-line rows.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use cpr_core::Pod;
+
+use crate::record::Record;
+
+struct Node<V: Pod> {
+    key: u64,
+    record: Record<V>,
+    next: *mut Node<V>,
+}
+
+/// Concurrent hash table; see module docs.
+pub struct Table<V: Pod> {
+    buckets: Box<[AtomicPtr<Node<V>>]>,
+    mask: u64,
+    len: AtomicUsize,
+}
+
+// SAFETY: nodes are immutable after publication except for their Record,
+// which has its own synchronization; raw pointers are only freed in Drop.
+unsafe impl<V: Pod> Send for Table<V> {}
+unsafe impl<V: Pod> Sync for Table<V> {}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // Fibonacci / splitmix-style mix: cheap and adequate for u64 keys.
+    let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h
+}
+
+impl<V: Pod> Table<V> {
+    /// Create a table with at least `capacity_hint` buckets (rounded up to
+    /// a power of two).
+    pub fn new(capacity_hint: usize) -> Self {
+        let n = capacity_hint.next_power_of_two().max(16);
+        let buckets = (0..n)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Table {
+            buckets,
+            mask: (n - 1) as u64,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &AtomicPtr<Node<V>> {
+        &self.buckets[(hash(key) & self.mask) as usize]
+    }
+
+    /// Find the record for `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&Record<V>> {
+        let mut cur = self.bucket(key).load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: published nodes are valid until the table drops.
+            let node = unsafe { &*cur };
+            if node.key == key {
+                return Some(&node.record);
+            }
+            cur = node.next;
+        }
+        None
+    }
+
+    /// Get the record for `key`, inserting an *uninitialized* placeholder
+    /// (at `version`) if absent — the record becomes visible to reads and
+    /// checkpoints only once a committed write sets its birth version.
+    /// Returns (record, inserted).
+    pub fn get_or_insert(&self, key: u64, version: u64, default: V) -> (&Record<V>, bool) {
+        self.get_or_insert_with(key, || Record::uninitialized(version, default))
+    }
+
+    fn get_or_insert_with(&self, key: u64, make: impl FnOnce() -> Record<V>) -> (&Record<V>, bool) {
+        if let Some(r) = self.get(key) {
+            return (r, false);
+        }
+        let bucket = self.bucket(key);
+        let node = Box::into_raw(Box::new(Node {
+            key,
+            record: make(),
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = bucket.load(Ordering::Acquire);
+            // Re-scan from head in case a racing insert added our key.
+            let mut cur = head;
+            while !cur.is_null() {
+                // SAFETY: published nodes are valid.
+                let n = unsafe { &*cur };
+                if n.key == key {
+                    // Lost the race: free our node, return theirs.
+                    // SAFETY: `node` was never published.
+                    drop(unsafe { Box::from_raw(node) });
+                    return (&n.record, false);
+                }
+                cur = n.next;
+            }
+            // SAFETY: we own `node` until it is published.
+            unsafe { (*node).next = head };
+            match bucket.compare_exchange(head, node, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: just published; valid for table lifetime.
+                    return (unsafe { &(*node).record }, true);
+                }
+                Err(_) => {
+                    // Head moved; retry (node still unpublished and owned).
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Insert a fully initialized record (pre-load / recovery); panics on
+    /// duplicate key.
+    pub fn insert(&self, key: u64, version: u64, value: V) {
+        let (_, inserted) = self.get_or_insert_with(key, || Record::new(version, value));
+        assert!(inserted, "duplicate key {key}");
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every (key, record). Iteration order is unspecified.
+    pub fn for_each(&self, mut f: impl FnMut(u64, &Record<V>)) {
+        for b in self.buckets.iter() {
+            let mut cur = b.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: published nodes are valid.
+                let node = unsafe { &*cur };
+                f(node.key, &node.record);
+                cur = node.next;
+            }
+        }
+    }
+}
+
+impl<V: Pod> Drop for Table<V> {
+    fn drop(&mut self) {
+        for b in self.buckets.iter_mut() {
+            let mut cur = *b.get_mut();
+            while !cur.is_null() {
+                // SAFETY: exclusive access in Drop; each node freed once.
+                let node = unsafe { Box::from_raw(cur) };
+                cur = node.next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_then_get() {
+        let t: Table<u64> = Table::new(8);
+        t.insert(1, 1, 10);
+        t.insert(2, 1, 20);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).map(|r| r.version()), Some(1));
+        assert!(t.get(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_insert_panics() {
+        let t: Table<u64> = Table::new(8);
+        t.insert(1, 1, 10);
+        t.insert(1, 1, 11);
+    }
+
+    #[test]
+    fn get_or_insert_returns_existing() {
+        let t: Table<u64> = Table::new(8);
+        t.insert(5, 1, 50);
+        let (r, inserted) = t.get_or_insert(5, 9, 99);
+        assert!(!inserted);
+        assert_eq!(r.version(), 1, "existing record untouched");
+    }
+
+    #[test]
+    fn colliding_keys_chain() {
+        // Keys mapping to the same bucket (mask 15): craft via same low
+        // hash bits by brute force.
+        let t: Table<u64> = Table::new(16);
+        for k in 0..1000u64 {
+            t.insert(k, 1, k);
+        }
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert!(t.get(k).is_some(), "missing key {k}");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let t: Table<u64> = Table::new(4);
+        for k in 0..100u64 {
+            t.insert(k, 1, k * 2);
+        }
+        let mut seen = std::collections::HashSet::new();
+        t.for_each(|k, _| {
+            assert!(seen.insert(k));
+        });
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_single_winner() {
+        let t: Arc<Table<u64>> = Arc::new(Table::new(4));
+        let inserted: usize = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.get_or_insert(42, 1, 0).1 as usize)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(inserted, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let t: Arc<Table<u64>> = Arc::new(Table::new(16));
+        let handles: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        t.insert(tid * 1000 + i, 1, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        for tid in 0..4u64 {
+            for i in 0..500u64 {
+                assert!(t.get(tid * 1000 + i).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Value types storable by the database.
+
+use cpr_core::Pod;
+
+/// A database value: plain old data with a default and a cheap way to
+/// derive a value from a workload-generator seed.
+pub trait DbValue: Pod {
+    /// Build a value from a 64-bit workload seed (YCSB write values, TPC-C
+    /// amounts). For wide values the seed is splatted so every byte
+    /// depends on it — checkpoints then detect torn captures in tests.
+    fn from_seed(seed: u64) -> Self;
+
+    /// A 64-bit digest of the value (inverse-ish of `from_seed`; used by
+    /// tests to compare states cheaply).
+    fn seed(&self) -> u64;
+
+    /// Combine a delta into the value (used by `Access::Merge`): the
+    /// default adds `delta` (wrapping) to the value's first 64-bit lane,
+    /// modelling balance/YTD updates.
+    fn merge(self, delta: u64) -> Self;
+}
+
+impl DbValue for u64 {
+    #[inline]
+    fn from_seed(seed: u64) -> Self {
+        seed
+    }
+    #[inline]
+    fn seed(&self) -> u64 {
+        *self
+    }
+    #[inline]
+    fn merge(self, delta: u64) -> Self {
+        self.wrapping_add(delta)
+    }
+}
+
+impl<const N: usize> DbValue for [u64; N] {
+    #[inline]
+    fn from_seed(seed: u64) -> Self {
+        let mut v = [0u64; N];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = seed.wrapping_add(i as u64);
+        }
+        v
+    }
+    #[inline]
+    fn seed(&self) -> u64 {
+        if N == 0 {
+            0
+        } else {
+            self[0]
+        }
+    }
+    #[inline]
+    fn merge(mut self, delta: u64) -> Self {
+        if N > 0 {
+            self[0] = self[0].wrapping_add(delta);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        assert_eq!(u64::from_seed(42).seed(), 42);
+    }
+
+    #[test]
+    fn merge_adds_wrapping() {
+        assert_eq!(10u64.merge(5), 15);
+        assert_eq!(u64::MAX.merge(2), 1);
+        let v = <[u64; 4]>::from_seed(10).merge(7);
+        assert_eq!(v[0], 17);
+        assert_eq!(v[1], 11, "other lanes untouched");
+    }
+
+    #[test]
+    fn array_from_seed_fills_all_lanes() {
+        let v = <[u64; 8]>::from_seed(100);
+        assert_eq!(v, [100, 101, 102, 103, 104, 105, 106, 107]);
+        assert_eq!(v.seed(), 100);
+    }
+}

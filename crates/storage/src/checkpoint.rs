@@ -1,0 +1,245 @@
+//! Checkpoint directory layout and manifest persistence.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/cpt.<token>/manifest.json   -- committed last (temp + rename)
+//! <root>/cpt.<token>/<data files>    -- db.dat / log.dat / index.dat / ...
+//! ```
+//!
+//! A checkpoint is *committed* iff its `manifest.json` exists; recovery
+//! scans for the largest committed token. Crashes mid-checkpoint therefore
+//! leave only ignorable garbage.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cpr_core::CheckpointManifest;
+
+/// A directory of committed checkpoints.
+pub struct CheckpointStore {
+    root: PathBuf,
+    next_token: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        let max = Self::scan_tokens(&root)?.into_iter().max().unwrap_or(0);
+        Ok(CheckpointStore {
+            root,
+            next_token: AtomicU64::new(max + 1),
+        })
+    }
+
+    fn scan_tokens(root: &Path) -> io::Result<Vec<u64>> {
+        let mut tokens = Vec::new();
+        for entry in fs::read_dir(root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(tok) = name.strip_prefix("cpt.") else {
+                continue;
+            };
+            let Ok(tok) = tok.parse::<u64>() else {
+                continue;
+            };
+            // Committed only if the manifest exists.
+            if entry.path().join("manifest.json").exists() {
+                tokens.push(tok);
+            }
+        }
+        Ok(tokens)
+    }
+
+    /// Allocate a fresh token and create its (uncommitted) directory.
+    pub fn begin(&self) -> io::Result<u64> {
+        let token = self.next_token.fetch_add(1, Ordering::AcqRel);
+        fs::create_dir_all(self.dir(token))?;
+        Ok(token)
+    }
+
+    /// Directory for `token`'s files.
+    pub fn dir(&self, token: u64) -> PathBuf {
+        self.root.join(format!("cpt.{token}"))
+    }
+
+    /// Path of a named data file inside `token`'s directory.
+    pub fn file(&self, token: u64, name: &str) -> PathBuf {
+        self.dir(token).join(name)
+    }
+
+    /// Commit `token` by atomically writing its manifest.
+    pub fn commit(&self, manifest: &CheckpointManifest) -> io::Result<()> {
+        let dir = self.dir(manifest.token);
+        let tmp = dir.join("manifest.json.tmp");
+        fs::write(&tmp, manifest.to_json())?;
+        fs::rename(&tmp, dir.join("manifest.json"))?;
+        Ok(())
+    }
+
+    /// Load the manifest of `token`, if committed.
+    pub fn manifest(&self, token: u64) -> io::Result<CheckpointManifest> {
+        let raw = fs::read_to_string(self.file(token, "manifest.json"))?;
+        CheckpointManifest::from_json(&raw)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// All committed tokens, ascending.
+    pub fn tokens(&self) -> io::Result<Vec<u64>> {
+        let mut t = Self::scan_tokens(&self.root)?;
+        t.sort_unstable();
+        Ok(t)
+    }
+
+    /// The newest committed checkpoint, if any.
+    pub fn latest(&self) -> io::Result<Option<CheckpointManifest>> {
+        match self.tokens()?.last() {
+            Some(&tok) => Ok(Some(self.manifest(tok)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The newest committed checkpoint satisfying `pred` (e.g. "is a full
+    /// checkpoint", "kind == Index").
+    pub fn latest_matching(
+        &self,
+        pred: impl Fn(&CheckpointManifest) -> bool,
+    ) -> io::Result<Option<CheckpointManifest>> {
+        for tok in self.tokens()?.into_iter().rev() {
+            let m = self.manifest(tok)?;
+            if pred(&m) {
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Remove every checkpoint directory (testing / GC).
+    pub fn clear(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.root)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                fs::remove_dir_all(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_core::{CheckpointKind, SessionCpr};
+
+    fn manifest(token: u64, version: u64, kind: CheckpointKind) -> CheckpointManifest {
+        let mut m = CheckpointManifest::new(token, kind, version);
+        m.sessions.push(SessionCpr {
+            guid: 1,
+            cpr_point: 42,
+        });
+        m
+    }
+
+    #[test]
+    fn begin_commit_latest_cycle() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        assert!(store.latest().unwrap().is_none());
+
+        let t1 = store.begin().unwrap();
+        store
+            .commit(&manifest(t1, 1, CheckpointKind::Database))
+            .unwrap();
+        let t2 = store.begin().unwrap();
+        assert!(t2 > t1);
+        store
+            .commit(&manifest(t2, 2, CheckpointKind::Database))
+            .unwrap();
+
+        let latest = store.latest().unwrap().unwrap();
+        assert_eq!(latest.token, t2);
+        assert_eq!(latest.version, 2);
+        assert_eq!(latest.cpr_point(1), Some(42));
+    }
+
+    #[test]
+    fn uncommitted_checkpoints_are_invisible() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t1 = store.begin().unwrap();
+        store
+            .commit(&manifest(t1, 1, CheckpointKind::Database))
+            .unwrap();
+        let _t2 = store.begin().unwrap(); // crash before manifest write
+        let latest = store.latest().unwrap().unwrap();
+        assert_eq!(latest.token, t1, "uncommitted t2 must be ignored");
+    }
+
+    #[test]
+    fn reopen_resumes_token_sequence() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let store = CheckpointStore::open(dir.path()).unwrap();
+            let t = store.begin().unwrap();
+            store
+                .commit(&manifest(t, 1, CheckpointKind::Database))
+                .unwrap();
+        }
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t = store.begin().unwrap();
+        assert!(t >= 2, "token sequence must not repeat: got {t}");
+    }
+
+    #[test]
+    fn latest_matching_filters_by_kind() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t1 = store.begin().unwrap();
+        store
+            .commit(&manifest(t1, 1, CheckpointKind::Index))
+            .unwrap();
+        let t2 = store.begin().unwrap();
+        store
+            .commit(&manifest(t2, 1, CheckpointKind::FoldOver))
+            .unwrap();
+        let idx = store
+            .latest_matching(|m| m.kind == CheckpointKind::Index)
+            .unwrap()
+            .unwrap();
+        assert_eq!(idx.token, t1);
+    }
+
+    #[test]
+    fn data_files_live_inside_checkpoint_dir() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t = store.begin().unwrap();
+        std::fs::write(store.file(t, "db.dat"), b"payload").unwrap();
+        store
+            .commit(&manifest(t, 1, CheckpointKind::Database))
+            .unwrap();
+        let bytes = std::fs::read(store.file(t, "db.dat")).unwrap();
+        assert_eq!(bytes, b"payload");
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t = store.begin().unwrap();
+        store
+            .commit(&manifest(t, 1, CheckpointKind::Database))
+            .unwrap();
+        store.clear().unwrap();
+        assert!(store.latest().unwrap().is_none());
+    }
+}

@@ -1,0 +1,435 @@
+//! Asynchronous block devices.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+/// Completion handle for an asynchronous device operation.
+///
+/// Cloning shares the same completion state. `wait()` blocks until the
+/// operation completes and returns its result; `is_done()` polls.
+#[derive(Clone)]
+pub struct IoHandle {
+    inner: Arc<IoInner>,
+}
+
+struct IoInner {
+    state: Mutex<IoState>,
+    cv: Condvar,
+}
+
+enum IoState {
+    Pending,
+    Done(Option<String>), // None = ok, Some = error message
+    /// `Done` after the result has been taken by `wait`.
+    Consumed(bool),
+}
+
+impl IoHandle {
+    /// A fresh, not-yet-completed handle (for custom async operations).
+    pub fn pending() -> Self {
+        IoHandle {
+            inner: Arc::new(IoInner {
+                state: Mutex::new(IoState::Pending),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// An already-completed successful handle (for synchronous devices).
+    pub fn ready() -> Self {
+        let h = Self::pending();
+        h.complete(Ok(()));
+        h
+    }
+
+    /// Complete the operation (wakes all waiters).
+    pub fn complete(&self, result: io::Result<()>) {
+        let mut st = self.inner.state.lock();
+        *st = IoState::Done(result.err().map(|e| e.to_string()));
+        self.inner.cv.notify_all();
+    }
+
+    /// True once the operation has completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        !matches!(*self.inner.state.lock(), IoState::Pending)
+    }
+
+    /// Block until completion; returns the operation result.
+    pub fn wait(&self) -> io::Result<()> {
+        let mut st = self.inner.state.lock();
+        loop {
+            match &*st {
+                IoState::Pending => self.inner.cv.wait(&mut st),
+                IoState::Done(err) => {
+                    let res = match err {
+                        None => Ok(()),
+                        Some(msg) => Err(io::Error::other(msg.clone())),
+                    };
+                    let ok = res.is_ok();
+                    *st = IoState::Consumed(ok);
+                    return res;
+                }
+                IoState::Consumed(ok) => {
+                    return if *ok {
+                        Ok(())
+                    } else {
+                        Err(io::Error::other("io previously failed"))
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A durable device addressed by byte offset.
+///
+/// Writes are asynchronous: they may be issued from hot paths and complete
+/// in the background. Reads are synchronous at this layer — asynchronous
+/// read scheduling for disk-resident records is built on top by the I/O
+/// pool in `cpr-faster`.
+pub trait Device: Send + Sync + 'static {
+    /// Queue `data` to be written at `offset`. The handle completes when
+    /// the data is durable.
+    fn write_at(&self, offset: u64, data: Vec<u8>) -> IoHandle;
+
+    /// Read exactly `buf.len()` bytes at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Wait for all previously queued writes to be durable.
+    fn sync(&self) -> io::Result<()>;
+
+    /// One past the largest byte ever written.
+    fn len(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+enum Job {
+    Write {
+        offset: u64,
+        data: Vec<u8>,
+        handle: IoHandle,
+    },
+    Barrier(IoHandle),
+    Shutdown,
+}
+
+/// File-backed device with a dedicated writer thread.
+pub struct FileDevice {
+    file: Arc<std::fs::File>,
+    tx: Sender<Job>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    high_water: AtomicU64,
+}
+
+impl FileDevice {
+    /// Create (or truncate) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self::from_file(file, 0))
+    }
+
+    /// Open an existing file (e.g. for recovery).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self::from_file(file, len))
+    }
+
+    fn from_file(file: std::fs::File, len: u64) -> Self {
+        let file = Arc::new(file);
+        let (tx, rx) = unbounded::<Job>();
+        let wfile = Arc::clone(&file);
+        let writer = std::thread::Builder::new()
+            .name("cpr-file-writer".into())
+            .spawn(move || {
+                use std::os::unix::fs::FileExt;
+                for job in rx {
+                    match job {
+                        Job::Write {
+                            offset,
+                            data,
+                            handle,
+                        } => {
+                            let res = wfile.write_all_at(&data, offset);
+                            handle.complete(res);
+                        }
+                        Job::Barrier(handle) => {
+                            handle.complete(wfile.sync_data());
+                        }
+                        Job::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn writer thread");
+        FileDevice {
+            file,
+            tx,
+            writer: Mutex::new(Some(writer)),
+            high_water: AtomicU64::new(len),
+        }
+    }
+}
+
+impl Device for FileDevice {
+    fn write_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
+        let handle = IoHandle::pending();
+        self.high_water
+            .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
+        self.tx
+            .send(Job::Write {
+                offset,
+                data,
+                handle: handle.clone(),
+            })
+            .expect("writer thread alive");
+        handle
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let handle = IoHandle::pending();
+        self.tx
+            .send(Job::Barrier(handle.clone()))
+            .expect("writer thread alive");
+        handle.wait()
+    }
+
+    fn len(&self) -> u64 {
+        self.high_water.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for FileDevice {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(w) = self.writer.lock().take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// In-memory device with optional simulated latency/bandwidth.
+pub struct MemDevice {
+    data: RwLock<Vec<u8>>,
+    tx: Sender<Job>,
+    writer: Mutex<Option<JoinHandle<()>>>,
+    high_water: AtomicU64,
+}
+
+impl MemDevice {
+    pub fn new() -> Arc<Self> {
+        Self::with_profile(Duration::ZERO, u64::MAX)
+    }
+
+    /// `latency` is added per write job; `bandwidth` (bytes/sec) throttles
+    /// large writes — together they approximate an SSD for experiments that
+    /// care about flush duration (e.g. paper Fig. 12's 6-second flushes).
+    pub fn with_profile(latency: Duration, bandwidth: u64) -> Arc<Self> {
+        let (tx, rx) = unbounded::<Job>();
+        let dev = Arc::new(MemDevice {
+            data: RwLock::new(Vec::new()),
+            tx,
+            writer: Mutex::new(None),
+            high_water: AtomicU64::new(0),
+        });
+        let weak = Arc::downgrade(&dev);
+        let writer = std::thread::Builder::new()
+            .name("cpr-mem-writer".into())
+            .spawn(move || {
+                for job in rx {
+                    match job {
+                        Job::Write {
+                            offset,
+                            data,
+                            handle,
+                        } => {
+                            if !latency.is_zero() {
+                                std::thread::sleep(latency);
+                            }
+                            if bandwidth != u64::MAX && !data.is_empty() {
+                                let secs = data.len() as f64 / bandwidth as f64;
+                                std::thread::sleep(Duration::from_secs_f64(secs));
+                            }
+                            let Some(dev) = weak.upgrade() else { break };
+                            let end = offset as usize + data.len();
+                            let mut store = dev.data.write();
+                            if store.len() < end {
+                                store.resize(end, 0);
+                            }
+                            store[offset as usize..end].copy_from_slice(&data);
+                            drop(store);
+                            handle.complete(Ok(()));
+                        }
+                        Job::Barrier(handle) => handle.complete(Ok(())),
+                        Job::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn writer thread");
+        *dev.writer.lock() = Some(writer);
+        dev
+    }
+}
+
+impl Device for MemDevice {
+    fn write_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
+        let handle = IoHandle::pending();
+        self.high_water
+            .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
+        self.tx
+            .send(Job::Write {
+                offset,
+                data,
+                handle: handle.clone(),
+            })
+            .expect("writer thread alive");
+        handle
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let store = self.data.read();
+        let end = offset as usize + buf.len();
+        if end > store.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("read past end: {} > {}", end, store.len()),
+            ));
+        }
+        buf.copy_from_slice(&store[offset as usize..end]);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let handle = IoHandle::pending();
+        self.tx
+            .send(Job::Barrier(handle.clone()))
+            .expect("writer thread alive");
+        handle.wait()
+    }
+
+    fn len(&self) -> u64 {
+        self.high_water.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for MemDevice {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Job::Shutdown);
+        if let Some(w) = self.writer.lock().take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &dyn Device) {
+        let h = dev.write_at(10, vec![1, 2, 3, 4]);
+        h.wait().unwrap();
+        let mut buf = [0u8; 4];
+        dev.read_at(10, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(dev.len(), 14);
+    }
+
+    #[test]
+    fn mem_device_roundtrip() {
+        let dev = MemDevice::new();
+        roundtrip(&*dev);
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let dev = FileDevice::create(dir.path().join("log.dat")).unwrap();
+        roundtrip(&dev);
+    }
+
+    #[test]
+    fn file_device_reopen_preserves_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("log.dat");
+        {
+            let dev = FileDevice::create(&path).unwrap();
+            dev.write_at(0, b"hello world".to_vec()).wait().unwrap();
+            dev.sync().unwrap();
+        }
+        let dev = FileDevice::open(&path).unwrap();
+        assert_eq!(dev.len(), 11);
+        let mut buf = [0u8; 11];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn writes_are_ordered_per_offset() {
+        let dev = MemDevice::new();
+        for i in 0..100u8 {
+            dev.write_at(0, vec![i]);
+        }
+        dev.sync().unwrap();
+        let mut b = [0u8; 1];
+        dev.read_at(0, &mut b).unwrap();
+        assert_eq!(b[0], 99, "last queued write wins");
+    }
+
+    #[test]
+    fn sync_waits_for_queued_writes() {
+        let dev = MemDevice::with_profile(Duration::from_millis(5), u64::MAX);
+        let h = dev.write_at(0, vec![7; 64]);
+        dev.sync().unwrap();
+        assert!(h.is_done(), "barrier must drain earlier writes");
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let dev = MemDevice::new();
+        dev.write_at(0, vec![1]).wait().unwrap();
+        let mut buf = [0u8; 8];
+        assert!(dev.read_at(0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn handle_wait_is_idempotent() {
+        let dev = MemDevice::new();
+        let h = dev.write_at(0, vec![1, 2]);
+        h.wait().unwrap();
+        h.wait().unwrap();
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn bandwidth_throttle_slows_writes() {
+        let dev = MemDevice::with_profile(Duration::ZERO, 1_000_000); // 1 MB/s
+        let start = std::time::Instant::now();
+        dev.write_at(0, vec![0u8; 100_000]).wait().unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "100 KB at 1 MB/s should take ~100 ms"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Simulated durable storage for the CPR reproduction.
+//!
+//! The paper evaluates on local NVMe SSDs; this crate replaces them with a
+//! [`Device`] abstraction with two implementations:
+//!
+//! * [`FileDevice`] — file-backed positioned I/O with a dedicated writer
+//!   thread providing asynchronous completions (the common case);
+//! * [`MemDevice`] — an in-memory device with optional simulated latency
+//!   and bandwidth, for deterministic tests and for machines without a
+//!   fast disk.
+//!
+//! Both deliver the property CPR relies on: writes are issued from worker
+//! threads without blocking and complete asynchronously; a completion
+//! handle ([`IoHandle`]) reports when data is durable.
+//!
+//! [`CheckpointStore`] lays out checkpoint directories and persists
+//! [`cpr_core::CheckpointManifest`]s with atomic (write-temp-then-rename)
+//! commit semantics.
+
+mod checkpoint;
+mod device;
+
+pub use checkpoint::CheckpointStore;
+pub use device::{Device, FileDevice, IoHandle, MemDevice};

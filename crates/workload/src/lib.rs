@@ -1,0 +1,22 @@
+//! Workload generators for the CPR evaluation.
+//!
+//! * [`keys`] — uniform and Zipfian (Gray et al.) key distributions,
+//!   including the scrambled variant used by YCSB;
+//! * [`ycsb`] — the extended YCSB-A op streams of paper Sec. 7.1
+//!   (reads, blind updates, read-modify-writes; 8- or 100-byte values);
+//! * [`txn`] — multi-key transaction workloads for the in-memory
+//!   transactional database (sizes 1..10, W:R mixes, θ ∈ {0.1, 0.99});
+//! * [`tpcc`] — a TPC-C-lite input generator (Payment + New-Order) mapped
+//!   onto a single u64 key space (paper Appendix E.2).
+//!
+//! Generators are deterministic given a seed, cheap enough to run on the
+//! benchmark hot path, and `Send` so each worker thread owns one.
+
+pub mod keys;
+pub mod tpcc;
+pub mod txn;
+pub mod ycsb;
+
+pub use keys::{KeyDist, Sampler};
+pub use txn::{AccessType, Txn, TxnConfig, TxnGenerator};
+pub use ycsb::{Op, OpKind, YcsbConfig, YcsbGenerator};

@@ -1,0 +1,375 @@
+//! TPC-C-lite input generator (paper Appendix E.2).
+//!
+//! The paper evaluates a mixture of **Payment** and **New-Order**
+//! transactions against the in-memory transactional database. We model the
+//! TPC-C tables in a single `u64` key space (table id in the high bits) and
+//! emit transactions as read/write sets, exactly what the memdb executor
+//! consumes:
+//!
+//! * Payment — a short transaction writing 3 records: warehouse YTD,
+//!   district YTD, customer balance.
+//! * New-Order — a longer transaction touching ~23 records on average:
+//!   reads warehouse tax + customer; updates district next-order-id;
+//!   for each of 5–15 order lines, reads an item and updates its stock;
+//!   inserts an order record and one order-line record per item.
+//!
+//! Inputs follow the standard spec: NURand(1023/8191) customer/item draws,
+//! 1% remote warehouses, uniform districts.
+
+use crate::keys::Sampler;
+use crate::txn::{AccessType, Txn};
+use crate::KeyDist;
+
+/// Standard TPC-C cardinalities (per warehouse).
+pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+pub const CUSTOMERS_PER_DISTRICT: u64 = 3000;
+pub const ITEMS: u64 = 100_000;
+const MAX_ORDERS_PER_DISTRICT: u64 = 1 << 24;
+
+/// Table tags in the high byte of the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Table {
+    Warehouse = 1,
+    District = 2,
+    Customer = 3,
+    Item = 4,
+    Stock = 5,
+    Order = 6,
+    OrderLine = 7,
+}
+
+const TABLE_SHIFT: u32 = 56;
+
+/// Compose a key: table tag in the top byte, row id below.
+#[inline]
+pub fn key(table: Table, row: u64) -> u64 {
+    debug_assert!(row < (1 << TABLE_SHIFT));
+    ((table as u64) << TABLE_SHIFT) | row
+}
+
+/// Decompose a key into (table tag, row id). Returns `None` for an unknown
+/// tag.
+pub fn decode(k: u64) -> Option<(Table, u64)> {
+    let row = k & ((1 << TABLE_SHIFT) - 1);
+    let t = match k >> TABLE_SHIFT {
+        1 => Table::Warehouse,
+        2 => Table::District,
+        3 => Table::Customer,
+        4 => Table::Item,
+        5 => Table::Stock,
+        6 => Table::Order,
+        7 => Table::OrderLine,
+        _ => return None,
+    };
+    Some((t, row))
+}
+
+pub fn warehouse_key(w: u64) -> u64 {
+    key(Table::Warehouse, w)
+}
+pub fn district_key(w: u64, d: u64) -> u64 {
+    key(Table::District, w * DISTRICTS_PER_WAREHOUSE + d)
+}
+pub fn customer_key(w: u64, d: u64, c: u64) -> u64 {
+    key(
+        Table::Customer,
+        (w * DISTRICTS_PER_WAREHOUSE + d) * CUSTOMERS_PER_DISTRICT + c,
+    )
+}
+pub fn item_key(i: u64) -> u64 {
+    key(Table::Item, i)
+}
+pub fn stock_key(w: u64, i: u64) -> u64 {
+    key(Table::Stock, w * ITEMS + i)
+}
+pub fn order_key(w: u64, d: u64, o: u64) -> u64 {
+    key(
+        Table::Order,
+        (w * DISTRICTS_PER_WAREHOUSE + d) * MAX_ORDERS_PER_DISTRICT + o,
+    )
+}
+pub fn order_line_key(w: u64, d: u64, o: u64, l: u64) -> u64 {
+    key(
+        Table::OrderLine,
+        ((w * DISTRICTS_PER_WAREHOUSE + d) * MAX_ORDERS_PER_DISTRICT + o) * 16 + l,
+    )
+}
+
+/// Which TPC-C transaction a generated txn models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpccKind {
+    Payment,
+    NewOrder,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    pub warehouses: u64,
+    /// Fraction of Payment transactions (the paper uses 50:50 and 100:0
+    /// Payment:New-Order mixes).
+    pub payment_frac: f64,
+}
+
+impl TpccConfig {
+    pub fn mix(warehouses: u64, payment_pct: u32) -> Self {
+        TpccConfig {
+            warehouses,
+            payment_frac: payment_pct as f64 / 100.0,
+        }
+    }
+
+    /// Number of keys that must be pre-loaded (excludes orders/order-lines,
+    /// which are inserted by New-Order).
+    pub fn preload_keys(&self) -> Vec<u64> {
+        let w = self.warehouses;
+        let mut keys = Vec::new();
+        for wh in 0..w {
+            keys.push(warehouse_key(wh));
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                keys.push(district_key(wh, d));
+                for c in 0..CUSTOMERS_PER_DISTRICT {
+                    keys.push(customer_key(wh, d, c));
+                }
+            }
+            for i in 0..ITEMS {
+                keys.push(stock_key(wh, i));
+            }
+        }
+        for i in 0..ITEMS {
+            keys.push(item_key(i));
+        }
+        keys
+    }
+}
+
+/// Per-thread deterministic TPC-C transaction stream.
+pub struct TpccGenerator {
+    cfg: TpccConfig,
+    rng: Sampler,
+    /// Per-(warehouse, district) next order id for this generator. Each
+    /// thread owns a disjoint order-id space (thread id in the high bits)
+    /// so concurrent generators never collide on insert keys.
+    next_order: Vec<u64>,
+    thread_id: u64,
+}
+
+impl TpccGenerator {
+    pub fn new(cfg: TpccConfig, thread_id: u64, seed: u64) -> Self {
+        assert!(cfg.warehouses > 0);
+        assert!(thread_id < 256);
+        let slots = (cfg.warehouses * DISTRICTS_PER_WAREHOUSE) as usize;
+        TpccGenerator {
+            cfg,
+            rng: Sampler::new(KeyDist::Uniform, u64::MAX, seed),
+            next_order: vec![0; slots],
+            thread_id,
+        }
+    }
+
+    /// TPC-C NURand(A, 0, x).
+    fn nurand(&mut self, a: u64, x: u64) -> u64 {
+        let r1 = self.rng.next_u64_below(a + 1);
+        let r2 = self.rng.next_u64_below(x);
+        ((r1 | r2) + 42) % x // constant C = 42
+    }
+
+    fn home_warehouse(&mut self) -> u64 {
+        self.rng.next_u64_below(self.cfg.warehouses)
+    }
+
+    /// Generate the next transaction with its kind.
+    pub fn next_txn(&mut self) -> (TpccKind, Txn) {
+        if self.rng.next_f64() < self.cfg.payment_frac {
+            (TpccKind::Payment, self.payment())
+        } else {
+            (TpccKind::NewOrder, self.new_order())
+        }
+    }
+
+    /// Payment: update warehouse YTD, district YTD, customer balance.
+    pub fn payment(&mut self) -> Txn {
+        let w = self.home_warehouse();
+        let d = self.rng.next_u64_below(DISTRICTS_PER_WAREHOUSE);
+        // 15% of payments touch a remote customer per spec; with one
+        // warehouse everything is local.
+        let (cw, cd) = if self.cfg.warehouses > 1 && self.rng.next_f64() < 0.15 {
+            let mut rw = self.rng.next_u64_below(self.cfg.warehouses);
+            if rw == w {
+                rw = (rw + 1) % self.cfg.warehouses;
+            }
+            (rw, self.rng.next_u64_below(DISTRICTS_PER_WAREHOUSE))
+        } else {
+            (w, d)
+        };
+        let c = self.nurand(1023, CUSTOMERS_PER_DISTRICT);
+        let amount = 1 + self.rng.next_u64_below(5000);
+        Txn {
+            accesses: vec![
+                (warehouse_key(w), AccessType::Write),
+                (district_key(w, d), AccessType::Write),
+                (customer_key(cw, cd, c), AccessType::Write),
+            ],
+            write_vals: vec![amount, amount, amount],
+        }
+    }
+
+    /// New-Order: read customer + warehouse, bump district order counter,
+    /// per line read item + update stock, insert order + order lines.
+    pub fn new_order(&mut self) -> Txn {
+        let w = self.home_warehouse();
+        let d = self.rng.next_u64_below(DISTRICTS_PER_WAREHOUSE);
+        let c = self.nurand(1023, CUSTOMERS_PER_DISTRICT);
+        let lines = 5 + self.rng.next_u64_below(11); // 5..=15
+
+        let slot = (w * DISTRICTS_PER_WAREHOUSE + d) as usize;
+        let o = (self.thread_id << 40) | self.next_order[slot];
+        self.next_order[slot] += 1;
+
+        let mut accesses = vec![
+            (warehouse_key(w), AccessType::Read),
+            (customer_key(w, d, c), AccessType::Read),
+            (district_key(w, d), AccessType::Write),
+            (order_key(w, d, o), AccessType::Write),
+        ];
+        let mut write_vals = vec![o, c];
+        for l in 0..lines {
+            let i = self.nurand(8191, ITEMS);
+            // 1% remote stock per spec.
+            let sw = if self.cfg.warehouses > 1 && self.rng.next_f64() < 0.01 {
+                let mut rw = self.rng.next_u64_below(self.cfg.warehouses);
+                if rw == w {
+                    rw = (rw + 1) % self.cfg.warehouses;
+                }
+                rw
+            } else {
+                w
+            };
+            if !accesses.iter().any(|(k, _)| *k == item_key(i)) {
+                accesses.push((item_key(i), AccessType::Read));
+            }
+            if !accesses.iter().any(|(k, _)| *k == stock_key(sw, i)) {
+                accesses.push((stock_key(sw, i), AccessType::Write));
+                write_vals.push(10 + l);
+            }
+            accesses.push((order_line_key(w, d, o, l), AccessType::Write));
+            write_vals.push(i);
+        }
+        Txn {
+            accesses,
+            write_vals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encoding_roundtrips_and_is_disjoint() {
+        let ks = [
+            warehouse_key(3),
+            district_key(3, 9),
+            customer_key(3, 9, 2999),
+            item_key(99_999),
+            stock_key(3, 99_999),
+            order_key(3, 9, 12345),
+            order_line_key(3, 9, 12345, 14),
+        ];
+        let mut set = std::collections::HashSet::new();
+        for k in ks {
+            assert!(decode(k).is_some());
+            assert!(set.insert(k), "key collision");
+        }
+        assert_eq!(decode(customer_key(1, 2, 3)).unwrap().0, Table::Customer);
+    }
+
+    #[test]
+    fn payment_touches_exactly_three_records() {
+        let mut g = TpccGenerator::new(TpccConfig::mix(4, 100), 0, 1);
+        for _ in 0..100 {
+            let t = g.payment();
+            assert_eq!(t.accesses.len(), 3);
+            assert_eq!(t.writes(), 3);
+            assert_eq!(t.write_vals.len(), 3);
+        }
+    }
+
+    #[test]
+    fn new_order_touches_about_23_records() {
+        let mut g = TpccGenerator::new(TpccConfig::mix(4, 0), 0, 2);
+        let mut total = 0usize;
+        let n = 200;
+        for _ in 0..n {
+            let t = g.new_order();
+            assert!(t.accesses.len() >= 4 + 3 * 5 - 2);
+            total += t.accesses.len();
+            // keys unique within the txn
+            let mut keys: Vec<u64> = t.accesses.iter().map(|(k, _)| *k).collect();
+            keys.sort_unstable();
+            let before = keys.len();
+            keys.dedup();
+            assert_eq!(keys.len(), before, "duplicate key in new-order");
+            assert_eq!(t.write_vals.len(), t.writes());
+        }
+        let avg = total as f64 / n as f64;
+        assert!(
+            (20.0..40.0).contains(&avg),
+            "avg accesses {avg}, expected ~23-34"
+        );
+    }
+
+    #[test]
+    fn order_ids_are_unique_across_txns_and_threads() {
+        let mut a = TpccGenerator::new(TpccConfig::mix(1, 0), 0, 3);
+        let mut b = TpccGenerator::new(TpccConfig::mix(1, 0), 1, 3);
+        let mut orders = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for t in [a.new_order(), b.new_order()] {
+                for (k, _) in &t.accesses {
+                    if let Some((Table::Order, row)) = decode(*k) {
+                        assert!(orders.insert(row), "order id reused: {row}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_ratio_respected() {
+        let mut g = TpccGenerator::new(TpccConfig::mix(2, 50), 0, 4);
+        let n = 2000;
+        let payments = (0..n)
+            .filter(|_| matches!(g.next_txn().0, TpccKind::Payment))
+            .count();
+        let frac = payments as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "payment frac {frac}");
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut g = TpccGenerator::new(TpccConfig::mix(1, 50), 0, 5);
+        for _ in 0..1000 {
+            assert!(g.nurand(1023, CUSTOMERS_PER_DISTRICT) < CUSTOMERS_PER_DISTRICT);
+            assert!(g.nurand(8191, ITEMS) < ITEMS);
+        }
+    }
+
+    #[test]
+    fn preload_covers_txn_non_insert_keys() {
+        let cfg = TpccConfig::mix(1, 50);
+        let preload: std::collections::HashSet<u64> = cfg.preload_keys().into_iter().collect();
+        let mut g = TpccGenerator::new(cfg, 0, 6);
+        for _ in 0..50 {
+            let (_, t) = g.next_txn();
+            for (k, _) in &t.accesses {
+                let (table, _) = decode(*k).unwrap();
+                if !matches!(table, Table::Order | Table::OrderLine) {
+                    assert!(preload.contains(k), "key {k:#x} not preloaded");
+                }
+            }
+        }
+    }
+}

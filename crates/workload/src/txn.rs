@@ -1,0 +1,188 @@
+//! Multi-key transaction workloads for the in-memory transactional
+//! database (paper Sec. 7.1–7.2).
+//!
+//! Each transaction is a sequence of read/write accesses over keys drawn
+//! from a Zipfian or uniform distribution; each access is classified as a
+//! read or write by a `W:R` ratio. Keys within one transaction are
+//! deduplicated (the 2PL lock table is not re-entrant) and lock order is
+//! irrelevant because the database uses No-Wait deadlock avoidance.
+
+use crate::keys::{KeyDist, Sampler};
+
+/// Access mode for one key in a transaction's read-write set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessType {
+    Read,
+    Write,
+}
+
+/// One generated transaction: a read-write set plus write arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Unique keys with their access type.
+    pub accesses: Vec<(u64, AccessType)>,
+    /// Value written by each write access (consumed in order).
+    pub write_vals: Vec<u64>,
+}
+
+impl Txn {
+    pub fn is_read_only(&self) -> bool {
+        self.accesses.iter().all(|(_, a)| *a == AccessType::Read)
+    }
+    pub fn writes(&self) -> usize {
+        self.accesses
+            .iter()
+            .filter(|(_, a)| *a == AccessType::Write)
+            .count()
+    }
+}
+
+/// Transaction workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnConfig {
+    pub num_keys: u64,
+    pub dist: KeyDist,
+    /// Number of key accesses per transaction (1, 3, 5, 7, 10 in the paper).
+    pub txn_size: usize,
+    /// Probability an access is a *read* (the paper's `W:R` read side).
+    pub read_frac: f64,
+}
+
+impl TxnConfig {
+    /// Paper notation `W:R` (e.g. `50:50`, `100:0` = write-only).
+    pub fn mix(num_keys: u64, dist: KeyDist, txn_size: usize, write_pct: u32) -> Self {
+        TxnConfig {
+            num_keys,
+            dist,
+            txn_size,
+            read_frac: 1.0 - write_pct as f64 / 100.0,
+        }
+    }
+}
+
+/// Per-thread deterministic transaction stream.
+#[derive(Debug, Clone)]
+pub struct TxnGenerator {
+    cfg: TxnConfig,
+    sampler: Sampler,
+}
+
+impl TxnGenerator {
+    pub fn new(cfg: TxnConfig, seed: u64) -> Self {
+        assert!(cfg.txn_size >= 1);
+        assert!((0.0..=1.0).contains(&cfg.read_frac));
+        assert!(
+            cfg.num_keys >= cfg.txn_size as u64,
+            "key space smaller than txn size"
+        );
+        TxnGenerator {
+            cfg,
+            sampler: Sampler::new(cfg.dist, cfg.num_keys, seed),
+        }
+    }
+
+    pub fn next_txn(&mut self) -> Txn {
+        let mut accesses: Vec<(u64, AccessType)> = Vec::with_capacity(self.cfg.txn_size);
+        while accesses.len() < self.cfg.txn_size {
+            let key = self.sampler.next_key();
+            if accesses.iter().any(|(k, _)| *k == key) {
+                continue; // dedup within the transaction
+            }
+            let at = if self.sampler.next_f64() < self.cfg.read_frac {
+                AccessType::Read
+            } else {
+                AccessType::Write
+            };
+            accesses.push((key, at));
+        }
+        let writes = accesses
+            .iter()
+            .filter(|(_, a)| *a == AccessType::Write)
+            .count();
+        let write_vals = (0..writes).map(|_| self.sampler.next_u64()).collect();
+        Txn {
+            accesses,
+            write_vals,
+        }
+    }
+
+    pub fn config(&self) -> &TxnConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_has_requested_size_and_unique_keys() {
+        let cfg = TxnConfig::mix(1000, KeyDist::Zipfian { theta: 0.99 }, 10, 50);
+        let mut g = TxnGenerator::new(cfg, 1);
+        for _ in 0..100 {
+            let t = g.next_txn();
+            assert_eq!(t.accesses.len(), 10);
+            let mut keys: Vec<u64> = t.accesses.iter().map(|(k, _)| *k).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 10, "duplicate key in txn");
+        }
+    }
+
+    #[test]
+    fn write_vals_match_write_count() {
+        let cfg = TxnConfig::mix(100, KeyDist::Uniform, 5, 50);
+        let mut g = TxnGenerator::new(cfg, 2);
+        for _ in 0..100 {
+            let t = g.next_txn();
+            assert_eq!(t.write_vals.len(), t.writes());
+        }
+    }
+
+    #[test]
+    fn write_only_mix_has_no_reads() {
+        let cfg = TxnConfig::mix(100, KeyDist::Uniform, 3, 100);
+        let mut g = TxnGenerator::new(cfg, 3);
+        for _ in 0..50 {
+            let t = g.next_txn();
+            assert_eq!(t.writes(), 3);
+            assert!(!t.is_read_only());
+        }
+    }
+
+    #[test]
+    fn read_only_mix_is_read_only() {
+        let cfg = TxnConfig::mix(100, KeyDist::Uniform, 3, 0);
+        let mut g = TxnGenerator::new(cfg, 3);
+        assert!(g.next_txn().is_read_only());
+    }
+
+    #[test]
+    fn mixed_ratio_roughly_respected() {
+        let cfg = TxnConfig::mix(10_000, KeyDist::Uniform, 10, 50);
+        let mut g = TxnGenerator::new(cfg, 4);
+        let mut writes = 0usize;
+        let n = 1000;
+        for _ in 0..n {
+            writes += g.next_txn().writes();
+        }
+        let frac = writes as f64 / (n * 10) as f64;
+        assert!((frac - 0.5).abs() < 0.05, "write frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "key space smaller")]
+    fn oversized_txn_rejected() {
+        TxnGenerator::new(TxnConfig::mix(2, KeyDist::Uniform, 3, 50), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TxnConfig::mix(500, KeyDist::Zipfian { theta: 0.1 }, 5, 50);
+        let mut a = TxnGenerator::new(cfg, 9);
+        let mut b = TxnGenerator::new(cfg, 9);
+        for _ in 0..50 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Extended YCSB-A op streams (paper Sec. 7.1).
+//!
+//! Mixes are written `R:BU` (reads : blind updates) plus an optional RMW
+//! fraction ("0:100 RMW" in the paper = 100% read-modify-write). RMW
+//! updates add a number from a small user-provided input array, modelling a
+//! running per-key sum.
+
+use crate::keys::{KeyDist, Sampler};
+
+/// A single key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Read,
+    /// Blind upsert of a new value.
+    Upsert,
+    /// Read-modify-write: add `delta` to the stored value.
+    Rmw,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    pub kind: OpKind,
+    pub key: u64,
+    /// Upsert value or RMW delta.
+    pub arg: u64,
+}
+
+/// Workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbConfig {
+    pub num_keys: u64,
+    pub dist: KeyDist,
+    /// Fractions summing to 1.0.
+    pub read_frac: f64,
+    pub upsert_frac: f64,
+    pub rmw_frac: f64,
+}
+
+impl YcsbConfig {
+    /// The paper's `R:BU` notation, e.g. `50:50`.
+    pub fn read_update(num_keys: u64, dist: KeyDist, read_pct: u32) -> Self {
+        let read_frac = read_pct as f64 / 100.0;
+        YcsbConfig {
+            num_keys,
+            dist,
+            read_frac,
+            upsert_frac: 1.0 - read_frac,
+            rmw_frac: 0.0,
+        }
+    }
+
+    /// The paper's `0:100 RMW` workload.
+    pub fn rmw_only(num_keys: u64, dist: KeyDist) -> Self {
+        YcsbConfig {
+            num_keys,
+            dist,
+            read_frac: 0.0,
+            upsert_frac: 0.0,
+            rmw_frac: 1.0,
+        }
+    }
+
+    pub fn validate(&self) {
+        let sum = self.read_frac + self.upsert_frac + self.rmw_frac;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "op fractions must sum to 1, got {sum}"
+        );
+    }
+}
+
+/// Per-thread deterministic op stream.
+#[derive(Debug, Clone)]
+pub struct YcsbGenerator {
+    cfg: YcsbConfig,
+    sampler: Sampler,
+    /// The paper's RMW deltas come from a user-provided 8-entry array.
+    deltas: [u64; 8],
+    tick: u64,
+}
+
+impl YcsbGenerator {
+    pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
+        cfg.validate();
+        YcsbGenerator {
+            cfg,
+            sampler: Sampler::new(cfg.dist, cfg.num_keys, seed),
+            deltas: [1, 3, 5, 7, 11, 13, 17, 19],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    pub fn next_op(&mut self) -> Op {
+        let key = self.sampler.next_key();
+        let r = self.sampler.next_f64();
+        self.tick = self.tick.wrapping_add(1);
+        let kind = if r < self.cfg.read_frac {
+            OpKind::Read
+        } else if r < self.cfg.read_frac + self.cfg.upsert_frac {
+            OpKind::Upsert
+        } else {
+            OpKind::Rmw
+        };
+        let arg = match kind {
+            OpKind::Read => 0,
+            OpKind::Upsert => self.sampler.next_u64(),
+            OpKind::Rmw => self.deltas[(self.tick % 8) as usize],
+        };
+        Op { kind, key, arg }
+    }
+
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_counts(cfg: YcsbConfig, n: usize) -> (usize, usize, usize) {
+        let mut g = YcsbGenerator::new(cfg, 99);
+        let (mut r, mut u, mut m) = (0, 0, 0);
+        for _ in 0..n {
+            match g.next_op().kind {
+                OpKind::Read => r += 1,
+                OpKind::Upsert => u += 1,
+                OpKind::Rmw => m += 1,
+            }
+        }
+        (r, u, m)
+    }
+
+    #[test]
+    fn mix_50_50_is_balanced() {
+        let cfg = YcsbConfig::read_update(1000, KeyDist::Uniform, 50);
+        let (r, u, m) = mix_counts(cfg, 100_000);
+        assert_eq!(m, 0);
+        assert!((r as f64 - 50_000.0).abs() < 2_000.0, "reads {r}");
+        assert!((u as f64 - 50_000.0).abs() < 2_000.0, "upserts {u}");
+    }
+
+    #[test]
+    fn mix_90_10_mostly_reads() {
+        let cfg = YcsbConfig::read_update(1000, KeyDist::Uniform, 90);
+        let (r, _, _) = mix_counts(cfg, 100_000);
+        assert!((r as f64 / 100_000.0 - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn rmw_only_generates_only_rmw() {
+        let cfg = YcsbConfig::rmw_only(1000, KeyDist::Uniform);
+        let (r, u, m) = mix_counts(cfg, 10_000);
+        assert_eq!((r, u), (0, 0));
+        assert_eq!(m, 10_000);
+    }
+
+    #[test]
+    fn rmw_deltas_come_from_eight_entry_array() {
+        let cfg = YcsbConfig::rmw_only(16, KeyDist::Uniform);
+        let mut g = YcsbGenerator::new(cfg, 3);
+        let allowed: std::collections::HashSet<u64> =
+            [1, 3, 5, 7, 11, 13, 17, 19].into_iter().collect();
+        for _ in 0..1000 {
+            let op = g.next_op();
+            assert!(allowed.contains(&op.arg), "delta {} not allowed", op.arg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn bad_fractions_rejected() {
+        let cfg = YcsbConfig {
+            num_keys: 10,
+            dist: KeyDist::Uniform,
+            read_frac: 0.5,
+            upsert_frac: 0.2,
+            rmw_frac: 0.0,
+        };
+        YcsbGenerator::new(cfg, 0);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = YcsbConfig::read_update(100, KeyDist::Zipfian { theta: 0.99 }, 50);
+        let mut a = YcsbGenerator::new(cfg, 5);
+        let mut b = YcsbGenerator::new(cfg, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! **cpr** — a Rust reproduction of *Concurrent Prefix Recovery:
+//! Performing CPR on a Database* (Prasaad, Chandramouli, Kossmann,
+//! SIGMOD 2019).
+//!
+//! CPR is a group-commit durability model without a write-ahead log: the
+//! system periodically tells each client session `i` a commit point `t_i`
+//! in its local operation timeline such that **all** operations before
+//! `t_i` are durable and **none** after. Commits are realized by
+//! asynchronous incremental checkpoints coordinated lazily through an
+//! epoch-protection framework, so the normal-operation hot path carries
+//! no durability overhead at all.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`epoch`] — epoch protection with conditional trigger actions;
+//! * [`core`] — phases, system state, session registry, manifests;
+//! * [`storage`] — simulated async devices + checkpoint store;
+//! * [`workload`] — YCSB / TPC-C-lite generators;
+//! * [`memdb`] — the in-memory transactional database (CPR vs the CALC
+//!   and WAL baselines);
+//! * [`faster`] — the FASTER key-value store with CPR checkpoints and
+//!   recovery.
+//!
+//! Runnable examples live in `examples/`; the benchmark harness that
+//! regenerates every figure of the paper is the `cpr-bench` binary.
+
+pub use cpr_core as core;
+pub use cpr_epoch as epoch;
+pub use cpr_faster as faster;
+pub use cpr_memdb as memdb;
+pub use cpr_storage as storage;
+pub use cpr_workload as workload;
