@@ -32,7 +32,7 @@ fn actions_fire_exactly_once_under_churn() {
                     }
                     drop(g); // release; may drain pending actions
                     n += 1;
-                    if i == 0 && n % 16 == 0 {
+                    if i == 0 && n.is_multiple_of(16) {
                         thread::yield_now();
                     }
                 }

@@ -5,7 +5,7 @@
 //! they keep processing version-`v + 1` requests while the version-`v`
 //! state is written out.
 
-use std::io::{self, Write};
+use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -16,8 +16,52 @@ use crate::store::{mark_phase, CheckpointVariant, StoreInner};
 /// Complete the commit of version `v`: capture the volatile log (and
 /// optionally the index), persist the manifest, and return to `rest` at
 /// `v + 1`.
+///
+/// Any I/O failure (including injected faults) aborts the checkpoint
+/// instead of panicking: the uncommitted directory is discarded, no
+/// manifest is written, `committed_version` stays put, and the state
+/// machine still returns to `rest` at `v + 1` so sessions proceed and a
+/// later checkpoint can succeed.
 pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
     let ctx = inner.ckpt.lock().take().expect("checkpoint context set");
+    let token = ctx.token;
+    let started = ctx.started;
+    let mut marks = ctx.phase_marks.clone();
+
+    let committed = try_wait_flush(inner, v, ctx);
+    if committed.is_none() {
+        // Failed attempt: remove the partial checkpoint (no-op if the
+        // fault was a simulated crash — the torn state must survive for
+        // recovery) and count the failure so callers can observe it.
+        let _ = inner.store.abort(token);
+        inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
+    }
+
+    // Back to rest at v + 1 either way; only success publishes v.
+    marks.push((Phase::Rest, started.elapsed()));
+    *inner.last_phase_marks.lock() = marks;
+    let ok = inner
+        .state
+        .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
+    debug_assert!(ok, "state machine out of sync at commit completion");
+    let _ = mark_phase::<V>; // (phase marks already pushed above)
+    if let Some(manifest) = committed {
+        inner.committed_version.store(v, Ordering::Release);
+        for cb in inner.commit_callbacks.lock().iter() {
+            cb(v, &manifest.sessions);
+        }
+    }
+    let _g = inner.commit_lock.lock();
+    inner.commit_cv.notify_all();
+}
+
+/// The fallible body of the wait-flush phase. Returns the committed
+/// manifest, or `None` if any step failed (checkpoint must abort).
+fn try_wait_flush<V: Pod>(
+    inner: &Arc<StoreInner<V>>,
+    v: u64,
+    ctx: crate::store::CkptCtx,
+) -> Option<CheckpointManifest> {
     let hl = &inner.hlog;
 
     // Fuzzy index checkpoint first (full commits only), so that every
@@ -27,8 +71,7 @@ pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
     if !ctx.log_only {
         lis = Some(hl.tail());
         let dump = inner.index.dump();
-        write_atomic(&inner.store.file(ctx.token, "index.dat"), &dump)
-            .expect("write index checkpoint");
+        inner.store.write_file(ctx.token, "index.dat", &dump).ok()?;
         lie = Some(hl.tail());
     }
 
@@ -39,19 +82,21 @@ pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
             // Advance the read-only offset to the tail: every version-v
             // record becomes immutable and is flushed to the main log.
             hl.shift_read_only_to(lhe);
-            hl.wait_flushed(lhe);
+            hl.wait_flushed(lhe).ok()?;
         }
         CheckpointVariant::Snapshot => {
             // Capture the volatile region into a separate file; offsets
             // (and in-place updatability) are untouched.
             let start = hl.flushed_durable();
-            let bytes = hl.read_range(start, lhe);
-            write_atomic(&inner.store.file(ctx.token, "snapshot.dat"), &bytes)
-                .expect("write snapshot");
+            let bytes = hl.read_range(start, lhe).ok()?;
+            inner
+                .store
+                .write_file(ctx.token, "snapshot.dat", &bytes)
+                .ok()?;
             snapshot_start = Some(start);
         }
     }
-    hl.device().sync().expect("log device sync");
+    hl.device().sync().ok()?;
 
     let kind = match ctx.variant {
         CheckpointVariant::FoldOver => CheckpointKind::FoldOver,
@@ -69,23 +114,8 @@ pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
         .into_iter()
         .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
         .collect();
-    inner.store.commit(&manifest).expect("commit manifest");
-
-    // Back to rest at v + 1.
-    let mut marks = ctx.phase_marks;
-    marks.push((Phase::Rest, ctx.started.elapsed()));
-    *inner.last_phase_marks.lock() = marks;
-    let ok = inner
-        .state
-        .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
-    debug_assert!(ok, "state machine out of sync at commit completion");
-    let _ = mark_phase::<V>; // (phase marks already pushed above)
-    inner.committed_version.store(v, Ordering::Release);
-    for cb in inner.commit_callbacks.lock().iter() {
-        cb(v, &manifest.sessions);
-    }
-    let _g = inner.commit_lock.lock();
-    inner.commit_cv.notify_all();
+    inner.store.commit(&manifest).ok()?;
+    Some(manifest)
 }
 
 /// Standalone fuzzy index checkpoint (paper Sec. 6.3): the index is
@@ -93,23 +123,21 @@ pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
 /// suffices; recovery replays the log suffix `[L_is, …)` over it.
 pub(crate) fn index_checkpoint<V: Pod>(inner: &Arc<StoreInner<V>>) -> io::Result<u64> {
     let token = inner.store.begin()?;
-    let lis = inner.hlog.tail();
-    let dump = inner.index.dump();
-    write_atomic(&inner.store.file(token, "index.dat"), &dump)?;
-    let lie = inner.hlog.tail();
-    let mut manifest = CheckpointManifest::new(token, CheckpointKind::Index, inner.state.version());
-    manifest.index_begin = Some(lis);
-    manifest.index_end = Some(lie);
-    inner.store.commit(&manifest)?;
-    Ok(token)
-}
-
-fn write_atomic(path: &std::path::Path, data: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(data)?;
-        f.sync_data()?;
+    let result = (|| {
+        let lis = inner.hlog.tail();
+        let dump = inner.index.dump();
+        inner.store.write_file(token, "index.dat", &dump)?;
+        let lie = inner.hlog.tail();
+        let mut manifest =
+            CheckpointManifest::new(token, CheckpointKind::Index, inner.state.version());
+        manifest.index_begin = Some(lis);
+        manifest.index_end = Some(lie);
+        inner.store.commit(&manifest)?;
+        Ok(token)
+    })();
+    if result.is_err() {
+        let _ = inner.store.abort(token);
+        inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
     }
-    std::fs::rename(&tmp, path)
+    result
 }

@@ -20,6 +20,7 @@
 //! so in-place updates and concurrent reads are tear-free at word
 //! granularity without locks.
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -115,13 +116,23 @@ pub struct HybridLog {
     /// Start of the not-yet-enqueued-for-flush region (guarded by lock).
     flush_state: Mutex<FlushState>,
     flushed_durable: CachePadded<AtomicU64>,
+    /// Count of flush I/O errors observed (each failed attempt counts;
+    /// failed ranges are retried because eviction gates on
+    /// `flushed_durable`, keeping them frame-resident and re-copyable).
+    flush_failures: CachePadded<AtomicU64>,
     device: Arc<dyn Device>,
     epoch: Arc<EpochManager>,
 }
 
 struct FlushState {
     enqueued: u64,
-    inflight: Vec<(u64, IoHandle)>,
+    inflight: Vec<InflightFlush>,
+}
+
+struct InflightFlush {
+    start: u64,
+    target: u64,
+    handle: IoHandle,
 }
 
 impl HybridLog {
@@ -155,6 +166,7 @@ impl HybridLog {
                 inflight: Vec::new(),
             }),
             flushed_durable: CachePadded::new(AtomicU64::new(0)),
+            flush_failures: CachePadded::new(AtomicU64::new(0)),
             device,
             epoch,
         })
@@ -366,27 +378,67 @@ impl HybridLog {
         let start = st.enqueued;
         let data = self.copy_range(start, target);
         let handle = self.device.write_at(start, data);
-        st.inflight.push((target, handle));
+        st.inflight.push(InflightFlush {
+            start,
+            target,
+            handle,
+        });
         st.enqueued = target;
     }
 
-    /// Fold completed flushes into the durable horizon.
+    /// Flush I/O errors observed so far (see [`Self::wait_flushed`]).
+    pub fn flush_failures(&self) -> u64 {
+        self.flush_failures.load(Ordering::Acquire)
+    }
+
+    /// Fold completed flushes into the durable horizon. A failed flush is
+    /// counted and re-issued: its range is still frame-resident (eviction
+    /// gates on `flushed_durable`), so the bytes can be re-copied. At most
+    /// one retry is issued per call so an instantly-failing device (e.g. a
+    /// simulated crash) cannot spin this into a busy loop.
     pub fn poll_flushes(&self) {
         let mut st = self.flush_state.lock();
-        while let Some((target, handle)) = st.inflight.first() {
-            if !handle.is_done() {
+        while let Some(f) = st.inflight.first() {
+            if !f.handle.is_done() {
                 break;
             }
-            handle.wait().expect("log flush failed");
-            self.flushed_durable.fetch_max(*target, Ordering::AcqRel);
-            st.inflight.remove(0);
+            match f.handle.wait() {
+                Ok(()) => {
+                    self.flushed_durable.fetch_max(f.target, Ordering::AcqRel);
+                    st.inflight.remove(0);
+                }
+                Err(_) => {
+                    self.flush_failures.fetch_add(1, Ordering::AcqRel);
+                    let (start, target) = (f.start, f.target);
+                    let data = self.copy_range(start, target);
+                    st.inflight[0] = InflightFlush {
+                        start,
+                        target,
+                        handle: self.device.write_at(start, data),
+                    };
+                    break;
+                }
+            }
         }
     }
 
     /// Block until everything up to `target` is durable, keeping the
-    /// epoch drain moving (used by the checkpoint worker).
-    pub fn wait_flushed(&self, target: Address) {
-        while self.flushed_durable() < target {
+    /// epoch drain moving (used by the checkpoint worker). Returns an
+    /// error as soon as any flush attempt fails while waiting, so a
+    /// checkpoint against a dead device aborts instead of hanging (the
+    /// failed range keeps being retried in the background and may still
+    /// become durable later).
+    pub fn wait_flushed(&self, target: Address) -> io::Result<()> {
+        let baseline = self.flush_failures();
+        loop {
+            if self.flushed_durable() >= target {
+                return Ok(());
+            }
+            if self.flush_failures() != baseline {
+                return Err(io::Error::other(format!(
+                    "log flush failed below {target:#x}"
+                )));
+            }
             self.epoch.try_drain();
             self.poll_flushes();
             std::thread::sleep(std::time::Duration::from_micros(200));
@@ -418,8 +470,9 @@ impl HybridLog {
     /// Copy `[start, end)` tolerating concurrent eviction: pages are read
     /// from their frame when resident, from the device otherwise (an
     /// evicted page is flushed by construction). Used by snapshot commits,
-    /// whose source region may be flushed+evicted mid-copy.
-    pub fn read_range(&self, start: Address, end: Address) -> Vec<u8> {
+    /// whose source region may be flushed+evicted mid-copy. Device read
+    /// errors (e.g. injected faults) propagate so the caller can abort.
+    pub fn read_range(&self, start: Address, end: Address) -> io::Result<Vec<u8>> {
         assert!(start <= end);
         let mut out = Vec::with_capacity((end - start) as usize);
         let mut addr = start;
@@ -443,15 +496,13 @@ impl HybridLog {
             if !from_frame {
                 chunk.clear();
                 chunk.resize(len, 0);
-                self.device
-                    .read_at(addr, &mut chunk)
-                    .expect("evicted page must be on the device");
+                self.device.read_at(addr, &mut chunk)?;
             }
             chunk.truncate(len);
             out.extend_from_slice(&chunk);
             addr = page_end;
         }
-        out
+        Ok(out)
     }
 
     // ---- record accessors ------------------------------------------------
@@ -620,7 +671,7 @@ mod tests {
             log.write_record(a, Header::new(0, 1), i as u64, &[i as u64]);
             g.refresh();
         }
-        log.wait_flushed(log.layout.page_start(2));
+        log.wait_flushed(log.layout.page_start(2)).unwrap();
         assert!(log.flushed_durable() >= log.layout.page_start(2));
         // Verify device contents for the first record of page 1: keys were
         // written densely, page 0 held (page_size - rec) / rec records
@@ -671,7 +722,7 @@ mod tests {
         let tail = log.tail();
         log.shift_read_only_to(tail);
         g.refresh(); // make the bump safe
-        log.wait_flushed(tail);
+        log.wait_flushed(tail).unwrap();
         assert_eq!(log.flushed_durable(), tail);
         assert_eq!(log.read_only(), tail);
     }

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use cpr_core::{CheckpointManifest, NoWaitLock, Phase, Pod, SessionRegistry, SystemState};
 use cpr_epoch::EpochManager;
-use cpr_storage::{CheckpointStore, Device, FileDevice};
+use cpr_storage::{CheckpointStore, Device, FaultDevice, FaultInjector, FileDevice};
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 
@@ -55,6 +55,10 @@ pub struct FasterOptions<V: Pod> {
     /// RMW semantics: `new = rmw(old, input)`; a missing key starts from
     /// `input`.
     pub rmw: fn(V, V) -> V,
+    /// Optional fault injector for crash-recovery testing: decorates the
+    /// log device and the checkpoint store so every durable write draws
+    /// from one scriptable fault schedule.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl FasterOptions<u64> {
@@ -69,6 +73,7 @@ impl FasterOptions<u64> {
             max_sessions: 64,
             io_threads: 2,
             rmw: |old, input| old.wrapping_add(input),
+            fault: None,
         }
     }
 }
@@ -88,6 +93,10 @@ impl<V: Pod> FasterOptions<V> {
     }
     pub fn with_refresh_every(mut self, k: u64) -> Self {
         self.refresh_every = k;
+        self
+    }
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
         self
     }
 }
@@ -127,6 +136,8 @@ pub(crate) struct StoreInner<V: Pod> {
     ckpt_tx: Mutex<Option<crossbeam::channel::Sender<u64>>>,
     ckpt_thread: Mutex<Option<JoinHandle<()>>>,
     pub(crate) recovered_sessions: HashMap<u64, u64>,
+    /// Checkpoints that failed on I/O and were aborted (no manifest).
+    pub(crate) checkpoint_failures: AtomicU64,
     pub(crate) last_phase_marks: Mutex<Vec<(Phase, Duration)>>,
     /// Commit observers (paper Sec. 5.2): called with (version, CPR
     /// points) after every durable commit, on the checkpoint thread.
@@ -154,7 +165,11 @@ impl<V: Pod> FasterKv<V> {
     /// Open a fresh store (truncates any existing log).
     pub fn open(opts: FasterOptions<V>) -> io::Result<Self> {
         std::fs::create_dir_all(&opts.dir)?;
-        let device: Arc<dyn Device> = Arc::new(FileDevice::create(opts.dir.join("log.dat"))?);
+        let base: Arc<dyn Device> = Arc::new(FileDevice::create(opts.dir.join("log.dat"))?);
+        let device: Arc<dyn Device> = match &opts.fault {
+            Some(inj) => Arc::new(FaultDevice::new(base, Arc::clone(inj))),
+            None => base,
+        };
         Self::build(opts, device, None)
     }
 
@@ -181,7 +196,7 @@ impl<V: Pod> FasterKv<V> {
             None => (HashIndex::new(opts.index_buckets), 1, HashMap::new()),
         };
         let latch_count = index.bucket_count();
-        let store = CheckpointStore::open(opts.dir.join("checkpoints"))?;
+        let store = CheckpointStore::open_with(opts.dir.join("checkpoints"), opts.fault.clone())?;
         let io = IoPool::new(device, opts.io_threads);
         let inner = Arc::new(StoreInner {
             latches: (0..latch_count).map(|_| NoWaitLock::new()).collect(),
@@ -204,6 +219,7 @@ impl<V: Pod> FasterKv<V> {
             ckpt_tx: Mutex::new(None),
             ckpt_thread: Mutex::new(None),
             recovered_sessions: sessions,
+            checkpoint_failures: AtomicU64::new(0),
             last_phase_marks: Mutex::new(Vec::new()),
             commit_callbacks: Mutex::new(Vec::new()),
             refresh_every: opts.refresh_every,
@@ -264,7 +280,20 @@ impl<V: Pod> FasterKv<V> {
         {
             return false;
         }
-        let token = inner.store.begin().expect("begin checkpoint");
+        let token = match inner.store.begin() {
+            Ok(t) => t,
+            Err(_) => {
+                // Can't even create the checkpoint directory (e.g. the
+                // simulated device crashed): roll back to rest at the same
+                // version and report the failure.
+                let ok = inner
+                    .state
+                    .transition((Phase::Prepare, v), (Phase::Rest, v));
+                debug_assert!(ok, "prepare rollback must succeed");
+                inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
+                return false;
+            }
+        };
         *inner.ckpt.lock() = Some(CkptCtx {
             token,
             variant,
@@ -303,6 +332,12 @@ impl<V: Pod> FasterKv<V> {
     /// Version of the newest durable commit (0 = none).
     pub fn committed_version(&self) -> u64 {
         self.inner.committed_version.load(Ordering::Acquire)
+    }
+
+    /// Number of checkpoint attempts that failed on I/O and were aborted
+    /// (no manifest committed; sessions returned to rest).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.inner.checkpoint_failures.load(Ordering::Acquire)
     }
 
     /// Current (phase, version) of the commit state machine.

@@ -370,6 +370,38 @@ fn crash_during_checkpoint_falls_back_to_previous() {
     assert_eq!(read_now(&mut s, 1), Some(111));
 }
 
+/// A manifest torn mid-write (truncated JSON) reads as *uncommitted*:
+/// recovery must skip it and fall back to the previous checkpoint
+/// rather than panicking on the parse.
+#[test]
+fn torn_manifest_reads_as_uncommitted() {
+    let dir = tempfile::tempdir().unwrap();
+    let grain = VersionGrain::Fine;
+    {
+        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let mut s = kv.start_session(1);
+        s.upsert(1, 111);
+        assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
+        while kv.committed_version() < 1 {
+            s.refresh();
+        }
+    }
+    // Fake a torn later checkpoint: a manifest cut off mid-JSON, as a
+    // power failure during the (non-atomic) write would leave it.
+    let good = std::fs::read(dir.path().join("checkpoints/cpt.1/manifest.json")).unwrap();
+    std::fs::create_dir_all(dir.path().join("checkpoints/cpt.99")).unwrap();
+    std::fs::write(
+        dir.path().join("checkpoints/cpt.99/manifest.json"),
+        &good[..good.len() / 2],
+    )
+    .unwrap();
+    std::fs::write(dir.path().join("checkpoints/cpt.99/index.dat"), b"junk").unwrap();
+    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    assert_eq!(manifest.unwrap().version, 1);
+    let (mut s, _) = kv.continue_session(1);
+    assert_eq!(read_now(&mut s, 1), Some(111));
+}
+
 /// continue_session for an unknown guid starts from serial 0.
 #[test]
 fn continue_unknown_session_starts_fresh() {

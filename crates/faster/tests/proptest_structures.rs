@@ -164,7 +164,7 @@ mod hlog_props {
                 }
             }
             // Flushed prefix matches the device byte-for-byte.
-            log.wait_flushed(log.safe_read_only());
+            log.wait_flushed(log.safe_read_only()).unwrap();
             let flushed = log.flushed_durable();
             for &(addr, key, val) in &written {
                 if addr + 24 <= flushed {

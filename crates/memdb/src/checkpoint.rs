@@ -6,10 +6,17 @@
 //! concurrent post-CPR-point transaction, `live` otherwise. The pass runs
 //! on a background thread while version-`v + 1` transactions execute.
 //!
-//! File format (`db.dat`): `[count u64][(key u64, value bytes)*]`, little
-//! endian, values `size_of::<V>()` bytes each.
+//! File format (`db.dat`): `[count u64][(key u64, flags u64, value)*]`,
+//! little endian, values `size_of::<V>()` bytes each. Flags bit 0 marks a
+//! tombstone (full checkpoints omit dead records; deltas persist the
+//! tombstone so it overrides the base chain).
+//!
+//! Any I/O failure during capture — including injected faults — aborts
+//! the checkpoint instead of panicking: the uncommitted directory is
+//! discarded, no manifest is written, `committed_version` stays put, and
+//! sessions return to `rest` at `v + 1` so a later commit can succeed.
 
-use std::io::{self, Write};
+use std::io;
 use std::path::Path;
 use std::sync::atomic::Ordering;
 
@@ -19,12 +26,37 @@ use cpr_storage::CheckpointStore;
 use crate::db::DbInner;
 use crate::value::DbValue;
 
+const FLAG_TOMBSTONE: u64 = 1;
+
 /// Capture version `v` and complete the commit (runs on the capture
 /// worker thread).
 pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
     let started = std::time::Instant::now();
+    let committed = try_capture(inner, v);
+    if committed.is_none() {
+        inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
+    }
+
+    // Back to rest at the next version either way; only success publishes
+    // the committed version and the delta base.
+    let ok = inner
+        .state
+        .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
+    debug_assert!(ok, "state machine out of sync at capture completion");
+    if let Some(token) = committed {
+        inner.committed_version.store(v, Ordering::Release);
+        *inner.last_capture.lock() = Some(started.elapsed());
+        *inner.last_capture_token.lock() = Some(token);
+    }
+    let _g = inner.commit_lock.lock();
+    inner.commit_cv.notify_all();
+}
+
+/// The fallible body of capture. Returns the committed token, or `None`
+/// if any I/O step failed (the partial checkpoint is aborted).
+fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<u64> {
     let store = inner.store.as_ref().expect("capture requires a store");
-    let token = store.begin().expect("begin checkpoint");
+    let token = store.begin().ok()?;
     // Delta checkpoints capture only records whose version-v image was
     // produced by a version-v write; everything else is already covered
     // by the base chain. The first commit is always full.
@@ -35,7 +67,7 @@ pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
         .flatten();
 
     let mut buf: Vec<u8> =
-        Vec::with_capacity(inner.table.len() * (8 + std::mem::size_of::<V>()) + 8);
+        Vec::with_capacity(inner.table.len() * (16 + std::mem::size_of::<V>()) + 8);
     buf.extend_from_slice(&0u64.to_le_bytes()); // count patched below
     let mut count = 0u64;
     inner.table.for_each(|key, rec| {
@@ -54,56 +86,47 @@ pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
             rec.lock.release_shared();
             return;
         }
-        let (value, image_version) = if rec.version() == v + 1 {
-            (rec.read_stable(), rec.stable_modified())
+        let (value, image_version, dead) = if rec.version() == v + 1 {
+            (rec.read_stable(), rec.stable_modified(), rec.stable_dead())
         } else {
-            (rec.read_live(), rec.modified())
+            (rec.read_live(), rec.modified(), rec.is_dead())
         };
         rec.lock.release_shared();
         if base.is_some() && image_version != v {
             // Unchanged during cycle v: covered by the base chain.
             return;
         }
+        if dead && base.is_none() {
+            // Full checkpoint: deleted records are simply absent.
+            return;
+        }
         buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&if dead { FLAG_TOMBSTONE } else { 0 }.to_le_bytes());
         cpr_core::pod_write(&value, &mut buf);
         count += 1;
     });
     buf[..8].copy_from_slice(&count.to_le_bytes());
 
-    let path = store.file(token, "db.dat");
-    write_atomically(&path, &buf).expect("write checkpoint data");
-
-    let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, v);
-    manifest.records = Some(count);
-    manifest.base = base;
-    manifest.sessions = inner
-        .registry
-        .cpr_points()
-        .into_iter()
-        .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
-        .collect();
-    store.commit(&manifest).expect("commit manifest");
-
-    // Commit complete: back to rest at the next version.
-    let ok = inner
-        .state
-        .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
-    debug_assert!(ok, "state machine out of sync at capture completion");
-    inner.committed_version.store(v, Ordering::Release);
-    *inner.last_capture.lock() = Some(started.elapsed());
-    *inner.last_capture_token.lock() = Some(token);
-    let _g = inner.commit_lock.lock();
-    inner.commit_cv.notify_all();
-}
-
-fn write_atomically(path: &Path, data: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(data)?;
-        f.sync_data()?;
+    let result = (|| -> io::Result<()> {
+        store.write_file(token, "db.dat", &buf)?;
+        let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, v);
+        manifest.records = Some(count);
+        manifest.base = base;
+        manifest.sessions = inner
+            .registry
+            .cpr_points()
+            .into_iter()
+            .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
+            .collect();
+        store.commit(&manifest)
+    })();
+    if result.is_err() {
+        // No-op after a simulated crash: the frozen (possibly torn) state
+        // is exactly what recovery must cope with.
+        let _ = store.abort(token);
+        return None;
     }
-    std::fs::rename(&tmp, path)
+    Some(token)
 }
 
 /// Load a checkpoint produced by [`capture`] into a fresh database.
@@ -113,7 +136,7 @@ pub(crate) fn load<V: DbValue>(
     manifest: &CheckpointManifest,
 ) -> io::Result<()> {
     let data = std::fs::read(store.file(manifest.token, "db.dat"))?;
-    let rec_size = 8 + std::mem::size_of::<V>();
+    let rec_size = 16 + std::mem::size_of::<V>();
     if data.len() < 8 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -130,11 +153,13 @@ pub(crate) fn load<V: DbValue>(
     let mut off = 8;
     for _ in 0..count {
         let key = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
-        let value: V = cpr_core::pod_read(&data[off + 8..off + rec_size]);
+        let flags = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap());
+        let value: V = cpr_core::pod_read(&data[off + 16..off + rec_size]);
         // Delta chains re-load keys: later (newer) checkpoints overwrite.
         let (rec, inserted) = inner.table.get_or_insert(key, manifest.version, value);
         assert!(rec.lock.try_exclusive(), "recovery load is single-threaded");
         rec.write_live(value);
+        rec.set_dead(flags & FLAG_TOMBSTONE != 0);
         rec.set_birth_if_unset(manifest.version);
         rec.set_modified(manifest.version);
         rec.set_version(manifest.version);
@@ -156,18 +181,20 @@ pub(crate) fn replay_wal<V: DbValue>(inner: &DbInner<V>, path: &Path) -> io::Res
             return;
         }
         let n = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
-        let rec_size = 8 + std::mem::size_of::<V>();
+        let rec_size = 16 + std::mem::size_of::<V>();
         let mut off = 8;
         for _ in 0..n {
             if off + rec_size > payload.len() {
                 return; // torn record: stop applying this payload
             }
             let key = u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
-            let value: V = cpr_core::pod_read(&payload[off + 8..off + rec_size]);
+            let flags = u64::from_le_bytes(payload[off + 8..off + 16].try_into().unwrap());
+            let value: V = cpr_core::pod_read(&payload[off + 16..off + rec_size]);
             let (rec, _) = inner.table.get_or_insert(key, version, V::from_seed(0));
             // Replay is single-threaded; locks still taken for discipline.
             assert!(rec.lock.try_exclusive(), "replay is single-threaded");
             rec.write_live(value);
+            rec.set_dead(flags & FLAG_TOMBSTONE != 0);
             rec.set_birth_if_unset(version);
             rec.lock.release_exclusive();
             off += rec_size;

@@ -29,6 +29,10 @@ pub enum Access {
     /// Read-modify-write: the record takes `old.merge(seed)` — atomic
     /// within the transaction (both lock and apply under 2PL).
     Merge,
+    /// Tombstone the record: subsequent reads see it as absent. Consumes
+    /// no write seed. The record slot survives so the delete crosses the
+    /// live/stable version-shift path exactly like a write.
+    Delete,
 }
 
 /// One transaction: unique keys with access modes, plus a value seed per
@@ -257,7 +261,7 @@ impl<V: DbValue> Session<V> {
             let (rec, _) = locked[i];
             match access {
                 Access::Read => {
-                    reads.push(if rec.birth() == 0 {
+                    reads.push(if rec.birth() == 0 || rec.is_dead() {
                         V::from_seed(0)
                     } else {
                         rec.read_live()
@@ -266,21 +270,29 @@ impl<V: DbValue> Session<V> {
                 }
                 Access::Write => {
                     rec.write_live(V::from_seed(txn.write_seeds[seed_idx]));
+                    rec.set_dead(false);
                     rec.set_birth_if_unset(txn_version);
                     rec.set_modified(txn_version);
                     seed_idx += 1;
                     self.stats.writes += 1;
                 }
                 Access::Merge => {
-                    let old = if rec.birth() == 0 {
+                    let old = if rec.birth() == 0 || rec.is_dead() {
                         V::from_seed(0)
                     } else {
                         rec.read_live()
                     };
                     rec.write_live(old.merge(txn.write_seeds[seed_idx]));
+                    rec.set_dead(false);
                     rec.set_birth_if_unset(txn_version);
                     rec.set_modified(txn_version);
                     seed_idx += 1;
+                    self.stats.writes += 1;
+                }
+                Access::Delete => {
+                    rec.set_dead(true);
+                    rec.set_birth_if_unset(txn_version);
+                    rec.set_modified(txn_version);
                     self.stats.writes += 1;
                 }
             }
@@ -324,16 +336,20 @@ impl<V: DbValue> Session<V> {
             locked.push((rec, exclusive));
         }
 
-        // Execute and build the redo record.
-        let mut payload: Vec<u8> = Vec::with_capacity(8 + txn.accesses.len() * 16);
+        // Execute and build the redo record. Payload format:
+        // `[count u64][(key u64, flags u64, value)*]`, flags bit 0 =
+        // tombstone; count patched below (deletes consume no write seed,
+        // so the seed count cannot serve as the entry count).
+        let mut payload: Vec<u8> = Vec::with_capacity(8 + txn.accesses.len() * 24);
         let t_build = profile.then(Instant::now);
-        payload.extend_from_slice(&(txn.write_seeds.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
         let mut seed_idx = 0;
+        let mut entries = 0u64;
         for (i, &(key, access)) in txn.accesses.iter().enumerate() {
             let (rec, _) = locked[i];
             match access {
                 Access::Read => {
-                    reads.push(if rec.birth() == 0 {
+                    reads.push(if rec.birth() == 0 || rec.is_dead() {
                         V::from_seed(0)
                     } else {
                         rec.read_live()
@@ -343,28 +359,41 @@ impl<V: DbValue> Session<V> {
                 Access::Write | Access::Merge => {
                     let val = if access == Access::Write {
                         V::from_seed(txn.write_seeds[seed_idx])
-                    } else if rec.birth() == 0 {
+                    } else if rec.birth() == 0 || rec.is_dead() {
                         V::from_seed(0).merge(txn.write_seeds[seed_idx])
                     } else {
                         rec.read_live().merge(txn.write_seeds[seed_idx])
                     };
                     rec.write_live(val);
+                    rec.set_dead(false);
                     rec.set_birth_if_unset(1);
                     // Redo-log the *result* value: replay is then
                     // idempotent and order-faithful.
                     payload.extend_from_slice(&key.to_le_bytes());
+                    payload.extend_from_slice(&0u64.to_le_bytes());
                     cpr_core::pod_write(&val, &mut payload);
                     seed_idx += 1;
+                    entries += 1;
+                    self.stats.writes += 1;
+                }
+                Access::Delete => {
+                    rec.set_dead(true);
+                    rec.set_birth_if_unset(1);
+                    payload.extend_from_slice(&key.to_le_bytes());
+                    payload.extend_from_slice(&1u64.to_le_bytes());
+                    cpr_core::pod_write(&V::from_seed(0), &mut payload);
+                    entries += 1;
                     self.stats.writes += 1;
                 }
             }
         }
+        payload[..8].copy_from_slice(&entries.to_le_bytes());
         if let Some(t) = t_build {
             self.stats
                 .note_side_ns(t.elapsed().as_nanos() as u64, false);
         }
 
-        if seed_idx > 0 {
+        if entries > 0 {
             let wal = self.db.wal.as_ref().expect("wal");
             // LSN allocation (tail contention) then the record copy (log
             // write), measured separately when profiling.

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionRegistry, SystemState};
 use cpr_epoch::EpochManager;
-use cpr_storage::CheckpointStore;
+use cpr_storage::{CheckpointStore, FaultInjector};
 use parking_lot::{Condvar, Mutex};
 
 use crate::calc::CommitLog;
@@ -66,6 +66,9 @@ pub struct MemDbOptions {
     /// recovery applies the delta chain oldest → newest). The first
     /// commit is always full.
     pub incremental: bool,
+    /// Optional fault injector for crash-recovery testing: applied to
+    /// checkpoint-store writes (CPR/CALC) and WAL flushes.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl MemDbOptions {
@@ -81,6 +84,7 @@ impl MemDbOptions {
             group_commit: Duration::from_millis(5),
             commit_log_capacity: 1 << 20,
             incremental: false,
+            fault: None,
         }
     }
 
@@ -112,6 +116,10 @@ impl MemDbOptions {
         self.incremental = on;
         self
     }
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
 }
 
 pub(crate) struct DbInner<V: DbValue> {
@@ -130,6 +138,8 @@ pub(crate) struct DbInner<V: DbValue> {
     capture_tx: Mutex<Option<crossbeam::channel::Sender<u64>>>,
     capture_thread: Mutex<Option<JoinHandle<()>>>,
     pub(crate) merged_stats: Mutex<ClientStats>,
+    /// Checkpoints that failed on I/O and were aborted (no manifest).
+    pub(crate) checkpoint_failures: AtomicU64,
     /// Wall-clock duration of the last completed capture pass.
     pub(crate) last_capture: Mutex<Option<Duration>>,
     /// Token of the most recent Database checkpoint (delta base).
@@ -157,7 +167,9 @@ impl<V: DbValue> MemDb<V> {
 
     fn open_at_version(opts: MemDbOptions, version: u64) -> io::Result<Self> {
         let store = match (&opts.durability, &opts.dir) {
-            (Durability::Cpr | Durability::Calc, Some(dir)) => Some(CheckpointStore::open(dir)?),
+            (Durability::Cpr | Durability::Calc, Some(dir)) => {
+                Some(CheckpointStore::open_with(dir, opts.fault.clone())?)
+            }
             (Durability::Cpr | Durability::Calc, None) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
@@ -170,10 +182,11 @@ impl<V: DbValue> MemDb<V> {
             (Durability::Wal, Some(dir)) => {
                 std::fs::create_dir_all(dir)?;
                 let gen = next_wal_generation(dir)?;
-                Some(Wal::create(
+                Some(Wal::create_with(
                     dir.join(format!("wal.{gen}.log")),
                     opts.wal_capacity,
                     opts.group_commit,
+                    opts.fault.clone(),
                 )?)
             }
             (Durability::Wal, None) => {
@@ -201,6 +214,7 @@ impl<V: DbValue> MemDb<V> {
             capture_tx: Mutex::new(None),
             capture_thread: Mutex::new(None),
             merged_stats: Mutex::new(ClientStats::default()),
+            checkpoint_failures: AtomicU64::new(0),
             last_capture: Mutex::new(None),
             last_capture_token: Mutex::new(None),
             opts,
@@ -324,7 +338,7 @@ impl<V: DbValue> MemDb<V> {
             }
             std::hint::spin_loop();
         }
-        let out = (rec.birth() != 0).then(|| rec.read_live());
+        let out = (rec.birth() != 0 && !rec.is_dead()).then(|| rec.read_live());
         rec.lock.release_shared();
         out
     }
@@ -373,6 +387,12 @@ impl<V: DbValue> MemDb<V> {
     /// Version of the newest durable checkpoint (0 = none yet).
     pub fn committed_version(&self) -> u64 {
         self.inner.committed_version.load(Ordering::Acquire)
+    }
+
+    /// Number of checkpoint attempts that failed on I/O and were aborted
+    /// (no manifest committed; sessions returned to rest).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.inner.checkpoint_failures.load(Ordering::Acquire)
     }
 
     /// Current (phase, version) of the commit state machine.

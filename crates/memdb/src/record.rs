@@ -39,6 +39,12 @@ pub struct Record<V: Pod> {
     /// `modified` as of the version shift — pairs with `stable` exactly
     /// as `modified` pairs with `live`.
     stable_modified: AtomicU64,
+    /// Tombstone flag for `live` (1 = deleted). Deleted records keep their
+    /// slot — the version-shift machinery needs the record to exist so
+    /// deletes cross the live/stable path like writes do.
+    dead: AtomicU64,
+    /// `dead` as of the version shift — pairs with `stable`.
+    stable_dead: AtomicU64,
     live: UnsafeCell<V>,
     stable: UnsafeCell<V>,
 }
@@ -58,6 +64,8 @@ impl<V: Pod> Record<V> {
             birth: AtomicU64::new(version),
             modified: AtomicU64::new(version),
             stable_modified: AtomicU64::new(version),
+            dead: AtomicU64::new(0),
+            stable_dead: AtomicU64::new(0),
             live: UnsafeCell::new(value),
             stable: UnsafeCell::new(value),
         }
@@ -73,6 +81,8 @@ impl<V: Pod> Record<V> {
             birth: AtomicU64::new(0),
             modified: AtomicU64::new(0),
             stable_modified: AtomicU64::new(0),
+            dead: AtomicU64::new(0),
+            stable_dead: AtomicU64::new(0),
             live: UnsafeCell::new(value),
             stable: UnsafeCell::new(value),
         }
@@ -109,14 +119,34 @@ impl<V: Pod> Record<V> {
     }
 
     /// Copy live → stable (the version-shift copy of Alg. 1 / CALC's
-    /// pre-image materialization), along with its modified-version tag.
-    /// Caller must hold the exclusive lock.
+    /// pre-image materialization), along with its modified-version and
+    /// tombstone tags. Caller must hold the exclusive lock.
     #[inline]
     pub fn copy_live_to_stable(&self) {
         // SAFETY: exclusive lock held.
         unsafe { *self.stable.get() = *self.live.get() }
         self.stable_modified
             .store(self.modified.load(Ordering::Relaxed), Ordering::Release);
+        self.stable_dead
+            .store(self.dead.load(Ordering::Relaxed), Ordering::Release);
+    }
+
+    /// Tombstone state of `live`. Read under any lock.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire) != 0
+    }
+
+    /// Set/clear the live tombstone. Caller must hold the exclusive lock.
+    #[inline]
+    pub fn set_dead(&self, dead: bool) {
+        self.dead.store(dead as u64, Ordering::Release);
+    }
+
+    /// Tombstone state as captured at the last version shift.
+    #[inline]
+    pub fn stable_dead(&self) -> bool {
+        self.stable_dead.load(Ordering::Acquire) != 0
     }
 
     /// Version of the most recent write to `live`.

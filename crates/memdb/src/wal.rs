@@ -29,6 +29,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cpr_storage::{FaultInjector, IoVerdict};
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 
@@ -140,10 +141,15 @@ struct WalInner {
     tail: CachePadded<AtomicU64>,
     durable: CachePadded<AtomicU64>,
     stop: AtomicBool,
+    /// Set when the flusher hits a fatal (or simulated-crash) I/O error:
+    /// the durable horizon is frozen and `sync()` returns instead of
+    /// wedging forever.
+    dead: AtomicBool,
     sync_lock: Mutex<()>,
     sync_cv: Condvar,
     file: File,
     group_interval: Duration,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Wal {
@@ -153,6 +159,16 @@ impl Wal {
         path: impl AsRef<Path>,
         capacity: u64,
         group_interval: Duration,
+    ) -> std::io::Result<Self> {
+        Self::create_with(path, capacity, group_interval, None)
+    }
+
+    /// Create a WAL whose flusher writes are subject to fault injection.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        capacity: u64,
+        group_interval: Duration,
+        injector: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
@@ -165,10 +181,12 @@ impl Wal {
             tail: CachePadded::new(AtomicU64::new(0)),
             durable: CachePadded::new(AtomicU64::new(0)),
             stop: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
             sync_lock: Mutex::new(()),
             sync_cv: Condvar::new(),
             file,
             group_interval,
+            injector,
         });
         let fl = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
@@ -226,10 +244,19 @@ impl Wal {
         let target = self.inner.tail.load(Ordering::Acquire);
         let mut g = self.inner.sync_lock.lock();
         while self.inner.durable.load(Ordering::Acquire) < target {
+            if self.inner.dead.load(Ordering::Acquire) {
+                return; // log device dead/crashed: durability frozen
+            }
             self.inner
                 .sync_cv
                 .wait_for(&mut g, Duration::from_millis(50));
         }
+    }
+
+    /// True once the flusher has hit a fatal I/O error (durable horizon
+    /// frozen; appends still succeed but will never become durable).
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Acquire)
     }
 
     /// Total bytes appended (including headers/padding).
@@ -325,10 +352,39 @@ impl WalInner {
                     self.ring
                         .copy_out(flushed, (scanned - flushed) as usize, &mut buf)
                 };
-                self.file
-                    .write_all_at(&buf, flushed)
-                    .expect("wal file write");
-                self.file.sync_data().expect("wal sync");
+                // Consult the fault schedule for this batch write.
+                if let Some(inj) = &self.injector {
+                    match inj.next_io() {
+                        IoVerdict::Ok => {}
+                        IoVerdict::Fail => {
+                            // Transient: leave the batch in the ring and
+                            // retry it next round.
+                            std::thread::sleep(self.group_interval);
+                            continue;
+                        }
+                        IoVerdict::Torn { keep } => {
+                            // Persist a prefix of the batch, then die: the
+                            // torn tail is what replay must tolerate.
+                            let keep = keep.min(buf.len());
+                            let _ = self.file.write_all_at(&buf[..keep], flushed);
+                            let _ = self.file.sync_data();
+                            self.die();
+                            break;
+                        }
+                        IoVerdict::Crashed => {
+                            self.die();
+                            break;
+                        }
+                        IoVerdict::Delay { millis } => {
+                            std::thread::sleep(Duration::from_millis(millis));
+                        }
+                    }
+                }
+                if self.file.write_all_at(&buf, flushed).is_err() || self.file.sync_data().is_err()
+                {
+                    self.die();
+                    break;
+                }
                 self.durable.store(scanned, Ordering::Release);
                 flushed = scanned;
                 let _g = self.sync_lock.lock();
@@ -346,6 +402,14 @@ impl WalInner {
                 std::thread::sleep(self.group_interval);
             }
         }
+    }
+
+    /// Freeze the durable horizon and wake any `sync()` waiters so they
+    /// observe the failure instead of blocking forever.
+    fn die(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _g = self.sync_lock.lock();
+        self.sync_cv.notify_all();
     }
 }
 

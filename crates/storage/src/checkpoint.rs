@@ -7,33 +7,83 @@
 //! <root>/cpt.<token>/<data files>    -- db.dat / log.dat / index.dat / ...
 //! ```
 //!
-//! A checkpoint is *committed* iff its `manifest.json` exists; recovery
-//! scans for the largest committed token. Crashes mid-checkpoint therefore
-//! leave only ignorable garbage.
+//! A checkpoint is *committed* iff its `manifest.json` exists **and
+//! parses**; recovery scans for the largest committed token. Crashes
+//! mid-checkpoint therefore leave only ignorable garbage — including a
+//! torn (truncated) manifest, which reads as "uncommitted", never as a
+//! parse panic.
+//!
+//! When opened with [`CheckpointStore::open_with`], every file write is
+//! routed through a shared [`FaultInjector`], drawing from the same
+//! operation sequence as any [`FaultDevice`](crate::FaultDevice) holding
+//! that injector — so a test can say "crash on the 2nd storage write from
+//! now" and hit the manifest commit precisely.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use cpr_core::CheckpointManifest;
+
+use crate::fault::{FaultInjector, IoVerdict};
 
 /// A directory of committed checkpoints.
 pub struct CheckpointStore {
     root: PathBuf,
     next_token: AtomicU64,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl CheckpointStore {
     /// Open (creating if needed) a checkpoint store rooted at `root`.
     pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with(root, None)
+    }
+
+    /// Open with an optional fault injector applied to every file write
+    /// (checkpoint data files and manifest commits).
+    pub fn open_with(
+        root: impl AsRef<Path>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Self> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
         let max = Self::scan_tokens(&root)?.into_iter().max().unwrap_or(0);
         Ok(CheckpointStore {
             root,
             next_token: AtomicU64::new(max + 1),
+            injector,
         })
+    }
+
+    /// Write one file's bytes, subject to fault injection. A `Torn`
+    /// verdict persists a truncated file at the *final* path (modelling a
+    /// crash mid-write) and still reports failure; `Fail`/`Crashed`
+    /// verdicts leave no trace. Fault-free writes are atomic
+    /// (temp + rename) and synced.
+    fn write_injected(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            match inj.next_io() {
+                IoVerdict::Ok => {}
+                IoVerdict::Fail | IoVerdict::Crashed => return Err(inj.error()),
+                IoVerdict::Torn { keep } => {
+                    let keep = keep.min(data.len());
+                    fs::write(path, &data[..keep])?;
+                    return Err(inj.error());
+                }
+                IoVerdict::Delay { millis } => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, data)?;
+        fs::File::open(&tmp)?.sync_data()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
     }
 
     fn scan_tokens(root: &Path) -> io::Result<Vec<u64>> {
@@ -58,9 +108,37 @@ impl CheckpointStore {
 
     /// Allocate a fresh token and create its (uncommitted) directory.
     pub fn begin(&self) -> io::Result<u64> {
+        if let Some(inj) = &self.injector {
+            if inj.crashed() {
+                return Err(inj.error());
+            }
+        }
         let token = self.next_token.fetch_add(1, Ordering::AcqRel);
         fs::create_dir_all(self.dir(token))?;
         Ok(token)
+    }
+
+    /// Discard an uncommitted checkpoint: delete `token`'s directory so a
+    /// failed attempt leaves no on-disk garbage. After a simulated crash
+    /// this is a no-op — the frozen filesystem keeps whatever (possibly
+    /// torn) state the crash left, exactly as a real power cut would.
+    pub fn abort(&self, token: u64) -> io::Result<()> {
+        if let Some(inj) = &self.injector {
+            if inj.crashed() {
+                return Ok(());
+            }
+        }
+        match fs::remove_dir_all(self.dir(token)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Write a named data file inside `token`'s directory, subject to
+    /// fault injection (one storage operation).
+    pub fn write_file(&self, token: u64, name: &str, data: &[u8]) -> io::Result<()> {
+        self.write_injected(&self.file(token, name), data)
     }
 
     /// Directory for `token`'s files.
@@ -73,13 +151,12 @@ impl CheckpointStore {
         self.dir(token).join(name)
     }
 
-    /// Commit `token` by atomically writing its manifest.
+    /// Commit `token` by atomically writing its manifest (one storage
+    /// operation under fault injection; a torn verdict leaves a truncated
+    /// `manifest.json` that recovery must treat as uncommitted).
     pub fn commit(&self, manifest: &CheckpointManifest) -> io::Result<()> {
-        let dir = self.dir(manifest.token);
-        let tmp = dir.join("manifest.json.tmp");
-        fs::write(&tmp, manifest.to_json())?;
-        fs::rename(&tmp, dir.join("manifest.json"))?;
-        Ok(())
+        let path = self.dir(manifest.token).join("manifest.json");
+        self.write_injected(&path, manifest.to_json().as_bytes())
     }
 
     /// Load the manifest of `token`, if committed.
@@ -96,22 +173,22 @@ impl CheckpointStore {
         Ok(t)
     }
 
-    /// The newest committed checkpoint, if any.
+    /// The newest committed checkpoint, if any. A checkpoint whose
+    /// manifest exists but does not parse (torn write at crash time) is
+    /// skipped, not an error.
     pub fn latest(&self) -> io::Result<Option<CheckpointManifest>> {
-        match self.tokens()?.last() {
-            Some(&tok) => Ok(Some(self.manifest(tok)?)),
-            None => Ok(None),
-        }
+        self.latest_matching(|_| true)
     }
 
     /// The newest committed checkpoint satisfying `pred` (e.g. "is a full
-    /// checkpoint", "kind == Index").
+    /// checkpoint", "kind == Index"). Unreadable or torn manifests are
+    /// treated as uncommitted and skipped.
     pub fn latest_matching(
         &self,
         pred: impl Fn(&CheckpointManifest) -> bool,
     ) -> io::Result<Option<CheckpointManifest>> {
         for tok in self.tokens()?.into_iter().rev() {
-            let m = self.manifest(tok)?;
+            let Ok(m) = self.manifest(tok) else { continue };
             if pred(&m) {
                 return Ok(Some(m));
             }
@@ -229,6 +306,86 @@ mod tests {
             .unwrap();
         let bytes = std::fs::read(store.file(t, "db.dat")).unwrap();
         assert_eq!(bytes, b"payload");
+    }
+
+    #[test]
+    fn abort_deletes_uncommitted_checkpoint_dir() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t = store.begin().unwrap();
+        std::fs::write(store.file(t, "db.dat"), b"partial").unwrap();
+        assert!(store.dir(t).exists());
+        store.abort(t).unwrap();
+        assert!(!store.dir(t).exists(), "aborted checkpoint dir must be gone");
+        // Idempotent: aborting again (or a never-begun token) is fine.
+        store.abort(t).unwrap();
+        store.abort(9999).unwrap();
+        // The store remains usable for a subsequent successful checkpoint.
+        let t2 = store.begin().unwrap();
+        assert!(t2 > t);
+        store
+            .commit(&manifest(t2, 1, CheckpointKind::Database))
+            .unwrap();
+        assert_eq!(store.latest().unwrap().unwrap().token, t2);
+    }
+
+    #[test]
+    fn torn_manifest_reads_as_uncommitted() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path()).unwrap();
+        let t1 = store.begin().unwrap();
+        store
+            .commit(&manifest(t1, 1, CheckpointKind::Database))
+            .unwrap();
+        // Simulate a crash that tore the next manifest mid-write.
+        let t2 = store.begin().unwrap();
+        let full = manifest(t2, 2, CheckpointKind::Database).to_json();
+        std::fs::write(store.file(t2, "manifest.json"), &full.as_bytes()[..full.len() / 2])
+            .unwrap();
+        // Strict single-token load still errors...
+        assert!(store.manifest(t2).is_err());
+        // ...but recovery-facing scans skip it instead of failing.
+        let latest = store.latest().unwrap().unwrap();
+        assert_eq!(latest.token, t1, "torn t2 manifest must be skipped");
+    }
+
+    #[test]
+    fn injected_commit_failure_leaves_no_manifest() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dir = tempfile::tempdir().unwrap();
+        let inj = std::sync::Arc::new(FaultInjector::new(FaultPlan::new()));
+        let store =
+            CheckpointStore::open_with(dir.path(), Some(std::sync::Arc::clone(&inj))).unwrap();
+        let t = store.begin().unwrap();
+        store.write_file(t, "db.dat", b"data").unwrap();
+        inj.fail_after(0);
+        assert!(store.commit(&manifest(t, 1, CheckpointKind::Database)).is_err());
+        assert!(!store.file(t, "manifest.json").exists());
+        // Transient failure: a retried commit (new op) succeeds.
+        store
+            .commit(&manifest(t, 1, CheckpointKind::Database))
+            .unwrap();
+        assert_eq!(store.latest().unwrap().unwrap().token, t);
+    }
+
+    #[test]
+    fn abort_after_crash_preserves_torn_state() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dir = tempfile::tempdir().unwrap();
+        let inj = std::sync::Arc::new(FaultInjector::new(FaultPlan::new()));
+        let store =
+            CheckpointStore::open_with(dir.path(), Some(std::sync::Arc::clone(&inj))).unwrap();
+        let t = store.begin().unwrap();
+        inj.torn_after(0, 10);
+        inj.crash_after(1);
+        assert!(store.commit(&manifest(t, 1, CheckpointKind::Database)).is_err());
+        assert!(inj.crashed() || store.file(t, "manifest.json").exists());
+        // Post-crash abort must NOT clean up: the torn manifest is what a
+        // real crash would leave for recovery to tolerate.
+        inj.crash_now();
+        store.abort(t).unwrap();
+        assert!(store.file(t, "manifest.json").exists());
+        assert!(store.begin().is_err(), "new checkpoints impossible after crash");
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 mod checkpoint;
 mod device;
+mod fault;
 
 pub use checkpoint::CheckpointStore;
 pub use device::{Device, FileDevice, IoHandle, MemDevice};
+pub use fault::{Fault, FaultDevice, FaultInjector, FaultPlan, IoVerdict};

@@ -1,0 +1,697 @@
+//! Fault-injecting crash-schedule harness for prefix recovery.
+//!
+//! Every test threads a scripted [`FaultInjector`] underneath the
+//! checkpoint I/O of memdb (CPR) and FASTER (fold-over and snapshot),
+//! "crashes" the storage stack at a chosen point of the commit state
+//! machine (PREPARE / IN-PROGRESS / WAIT-FLUSH, plus specific
+//! checkpoint writes within WAIT-FLUSH), then reopens from the
+//! surviving directory with a fault-free stack and asserts:
+//!
+//! 1. the live system never panics or wedges — a failed checkpoint
+//!    aborts (no manifest) and sessions return to REST;
+//! 2. the recovered state equals a model replay of **exactly** the
+//!    committed prefix — all operations before the surviving commit
+//!    point, none after (paper Definition 1).
+//!
+//! All randomness derives from explicit `u64` seeds printed with every
+//! case and embedded in every assertion message, so any failure is
+//! replayable by pinning the seed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cpr::core::Phase;
+use cpr::faster::{
+    CheckpointVariant, FasterKv, FasterOptions, FasterSession, HlogConfig, ReadResult,
+    VersionGrain,
+};
+use cpr::memdb::{Access, Durability, MemDb, MemDbOptions, Session, TxnRequest};
+use cpr::storage::{FaultInjector, FaultPlan};
+
+const KEYS: u64 = 16;
+const SPLIT: u64 = 0x9e37_79b9_7f4a_7c15; // golden-ratio stream splitter
+const PUMP_DEADLINE: Duration = Duration::from_secs(20);
+
+// ---------------------------------------------------------------------------
+// Deterministic operation schedules + model replay
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Upsert { key: u64, val: u64 },
+    Merge { key: u64, delta: u64 },
+    Delete { key: u64 },
+}
+
+fn gen_ops(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..10) {
+            0..=5 => Op::Upsert {
+                key: rng.gen_range(0..KEYS),
+                val: rng.gen_range(0u64..1_000_000),
+            },
+            6..=8 => Op::Merge {
+                key: rng.gen_range(0..KEYS),
+                delta: rng.gen_range(1u64..100),
+            },
+            _ => Op::Delete {
+                key: rng.gen_range(0..KEYS),
+            },
+        })
+        .collect()
+}
+
+fn model_replay(ops: &[Op]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &op in ops {
+        match op {
+            Op::Upsert { key, val } => {
+                m.insert(key, val);
+            }
+            Op::Merge { key, delta } => {
+                let v = m.get(&key).copied().unwrap_or(0).wrapping_add(delta);
+                m.insert(key, v);
+            }
+            Op::Delete { key } => {
+                m.remove(&key);
+            }
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// The crash schedule: where in the commit state machine to pull the plug
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum CrashPoint {
+    /// Wait until the system is observed in `phase`, then freeze all
+    /// I/O; run `extra_ops` more (doomed) transactions afterwards so the
+    /// crash lands amid different amounts of in-flight work.
+    Phase { phase: Phase, extra_ops: usize },
+    /// Freeze at the `k`-th checkpoint I/O of the WAIT-FLUSH pass
+    /// (armed before the request; only the capture performs I/O).
+    WaitFlushOp { k: u64 },
+    /// Tear the manifest write mid-file; the commit must abort.
+    TornManifest,
+    /// Freeze immediately *after* the manifest lands: the commit is
+    /// durable and recovery must include the second prefix.
+    CommitThenFreeze { ops: u64 },
+}
+
+fn crash_label(p: &CrashPoint) -> String {
+    match p {
+        CrashPoint::Phase { phase, extra_ops } => format!("{phase:?}+{extra_ops}ops"),
+        CrashPoint::WaitFlushOp { k } => format!("WaitFlush@io{k}"),
+        CrashPoint::TornManifest => "WaitFlush@torn-manifest".into(),
+        CrashPoint::CommitThenFreeze { .. } => "freeze-after-commit".into(),
+    }
+}
+
+/// ≥3 crash points in each of PREPARE, IN-PROGRESS, and WAIT-FLUSH.
+/// `wait_flush_ops` is how many checkpoint I/Os precede the commit
+/// becoming durable (crashing at any of them must abort it); the torn
+/// manifest is one more WAIT-FLUSH point on top.
+fn sweep_points(wait_flush_ops: u64) -> Vec<CrashPoint> {
+    let mut pts = Vec::new();
+    for phase in [Phase::Prepare, Phase::InProgress] {
+        for extra_ops in [0usize, 2, 5] {
+            pts.push(CrashPoint::Phase { phase, extra_ops });
+        }
+    }
+    for k in 0..wait_flush_ops {
+        pts.push(CrashPoint::WaitFlushOp { k });
+    }
+    pts.push(CrashPoint::TornManifest);
+    pts
+}
+
+// ---------------------------------------------------------------------------
+// memdb (CPR) harness
+// ---------------------------------------------------------------------------
+
+fn memdb_opts(dir: &std::path::Path, inj: Option<Arc<FaultInjector>>) -> MemDbOptions {
+    let mut o = MemDbOptions::new(Durability::Cpr)
+        .dir(dir)
+        .capacity(64)
+        .refresh_every(4);
+    if let Some(i) = inj {
+        o = o.fault_injector(i);
+    }
+    o
+}
+
+fn memdb_exec(s: &mut Session<u64>, op: Op) {
+    let (access, key, seed) = match op {
+        Op::Upsert { key, val } => (Access::Write, key, val),
+        Op::Merge { key, delta } => (Access::Merge, key, delta),
+        Op::Delete { key } => (Access::Delete, key, 0),
+    };
+    let accesses = [(key, access)];
+    let seeds = [seed];
+    let req = TxnRequest {
+        accesses: &accesses,
+        write_seeds: &seeds,
+    };
+    let mut reads = Vec::new();
+    while s.execute(&req, &mut reads).is_err() {}
+}
+
+/// Pump refreshes until the in-flight commit either lands (`true`) or
+/// aborts (`false`). Panics (with the seed) if neither happens.
+fn memdb_pump(db: &MemDb<u64>, s: &mut Session<u64>, target_v: u64, failures0: u64, tag: &str) -> bool {
+    let deadline = Instant::now() + PUMP_DEADLINE;
+    loop {
+        if db.committed_version() >= target_v {
+            return true;
+        }
+        if db.checkpoint_failures() > failures0 {
+            return false;
+        }
+        assert!(Instant::now() < deadline, "commit pump wedged: {tag}");
+        s.refresh();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn memdb_wait_rest(db: &MemDb<u64>, s: &mut Session<u64>, tag: &str) {
+    let deadline = Instant::now() + PUMP_DEADLINE;
+    while db.state().0 != Phase::Rest {
+        assert!(Instant::now() < deadline, "never returned to REST: {tag}");
+        s.refresh();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn memdb_crash_case(seed: u64, point: CrashPoint) {
+    let label = crash_label(&point);
+    let tag = format!("memdb case {label} seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    let ops_a = gen_ops(seed, 40);
+    let ops_b = gen_ops(seed ^ SPLIT, 25);
+    let committed_second;
+    {
+        let db: MemDb<u64> = MemDb::open(memdb_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = db.session(1);
+        for &op in &ops_a {
+            memdb_exec(&mut s, op);
+        }
+        assert!(db.request_commit(), "{tag}");
+        assert!(memdb_pump(&db, &mut s, 1, 0, &tag), "fault-free commit must land: {tag}");
+        for &op in &ops_b {
+            memdb_exec(&mut s, op);
+        }
+        let failures0 = db.checkpoint_failures();
+        let (_, v) = db.state();
+        match point {
+            CrashPoint::Phase { phase, extra_ops } => {
+                assert!(db.request_commit(), "{tag}");
+                if phase == Phase::InProgress {
+                    let deadline = Instant::now() + PUMP_DEADLINE;
+                    while db.state().0 == Phase::Prepare {
+                        assert!(Instant::now() < deadline, "stuck in PREPARE: {tag}");
+                        s.refresh();
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+                assert_eq!(db.state().0, phase, "{tag}");
+                inj.crash_now();
+                // Doomed in-flight transactions after the crash: they run
+                // fine in memory but can never become durable.
+                for &op in &gen_ops(seed ^ (SPLIT << 1), extra_ops) {
+                    memdb_exec(&mut s, op);
+                }
+            }
+            CrashPoint::WaitFlushOp { k } => {
+                inj.crash_after(k);
+                assert!(db.request_commit(), "{tag}");
+            }
+            CrashPoint::TornManifest => {
+                inj.torn_after(1, 12); // io 0 = db.dat, io 1 = manifest
+                assert!(db.request_commit(), "{tag}");
+            }
+            CrashPoint::CommitThenFreeze { ops } => {
+                inj.crash_after(ops);
+                assert!(db.request_commit(), "{tag}");
+            }
+        }
+        committed_second = memdb_pump(&db, &mut s, v, failures0, &tag);
+        let expect_commit = matches!(point, CrashPoint::CommitThenFreeze { .. });
+        assert_eq!(committed_second, expect_commit, "{tag}");
+        // Whatever happened, sessions must be back at REST.
+        memdb_wait_rest(&db, &mut s, &tag);
+    }
+
+    // Reopen the surviving directory with a fault-free stack.
+    let (db2, manifest) = MemDb::<u64>::recover(memdb_opts(dir.path(), None)).unwrap();
+    let manifest = manifest.unwrap_or_else(|| panic!("committed checkpoint lost: {tag}"));
+    let expect_ops: Vec<Op> = if committed_second {
+        ops_a.iter().chain(&ops_b).copied().collect()
+    } else {
+        ops_a.clone()
+    };
+    assert_eq!(
+        manifest.version,
+        if committed_second { 2 } else { 1 },
+        "{tag}"
+    );
+    assert_eq!(manifest.cpr_point(1), Some(expect_ops.len() as u64), "{tag}");
+    let model = model_replay(&expect_ops);
+    for key in 0..KEYS {
+        assert_eq!(db2.read(key), model.get(&key).copied(), "key {key}: {tag}");
+    }
+}
+
+/// memdb CPR: crash sweep across PREPARE / IN-PROGRESS / WAIT-FLUSH.
+#[test]
+fn memdb_cpr_crash_sweep() {
+    let base = 0x00c0_ffee_0000_0001u64;
+    for (i, point) in sweep_points(2).into_iter().enumerate() {
+        memdb_crash_case(base.wrapping_add(i as u64), point);
+    }
+    // The capture pass performs exactly two writes (db.dat, manifest):
+    // freezing after both means the commit is durable.
+    memdb_crash_case(base ^ 0xfff, CrashPoint::CommitThenFreeze { ops: 2 });
+}
+
+/// An injected write failure aborts the checkpoint cleanly — no manifest,
+/// no panic, no wedge — and the *next* checkpoint succeeds.
+#[test]
+fn memdb_transient_failure_aborts_then_next_commit_succeeds() {
+    let seed = 0x7a75_0000_0000_0001u64;
+    let tag = format!("memdb transient seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    let ops = gen_ops(seed, 50);
+    {
+        let db: MemDb<u64> = MemDb::open(memdb_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = db.session(1);
+        for &op in &ops {
+            memdb_exec(&mut s, op);
+        }
+        // First attempt: the db.dat write fails once.
+        inj.fail_after(0);
+        assert!(db.request_commit(), "{tag}");
+        assert!(!memdb_pump(&db, &mut s, 1, 0, &tag), "must abort: {tag}");
+        assert_eq!(db.checkpoint_failures(), 1, "{tag}");
+        assert_eq!(db.committed_version(), 0, "no manifest after abort: {tag}");
+        memdb_wait_rest(&db, &mut s, &tag);
+        // Second attempt: the transient fault is consumed; it must land.
+        let (_, v) = db.state();
+        assert!(db.request_commit(), "{tag}");
+        assert!(memdb_pump(&db, &mut s, v, 1, &tag), "retry must commit: {tag}");
+    }
+    let (db2, manifest) = MemDb::<u64>::recover(memdb_opts(dir.path(), None)).unwrap();
+    let manifest = manifest.unwrap();
+    assert_eq!(manifest.cpr_point(1), Some(ops.len() as u64), "{tag}");
+    let model = model_replay(&ops);
+    for key in 0..KEYS {
+        assert_eq!(db2.read(key), model.get(&key).copied(), "key {key}: {tag}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FASTER harness (fold-over + snapshot)
+// ---------------------------------------------------------------------------
+
+fn faster_opts(dir: &std::path::Path, inj: Option<Arc<FaultInjector>>) -> FasterOptions<u64> {
+    let mut o = FasterOptions::u64_sums(dir)
+        .with_hlog(HlogConfig {
+            page_bits: 12,
+            memory_pages: 16,
+            mutable_pages: 8,
+            value_size: 8,
+        })
+        .with_grain(VersionGrain::Fine)
+        .with_refresh_every(4);
+    if let Some(i) = inj {
+        o = o.with_fault_injector(i);
+    }
+    o
+}
+
+fn faster_exec(s: &mut FasterSession<u64>, op: Op) {
+    match op {
+        Op::Upsert { key, val } => {
+            s.upsert(key, val);
+        }
+        Op::Merge { key, delta } => {
+            s.rmw(key, delta);
+        }
+        Op::Delete { key } => {
+            s.delete(key);
+        }
+    }
+}
+
+fn faster_pump(
+    kv: &FasterKv<u64>,
+    s: &mut FasterSession<u64>,
+    target_v: u64,
+    failures0: u64,
+    tag: &str,
+) -> bool {
+    let deadline = Instant::now() + PUMP_DEADLINE;
+    loop {
+        if kv.committed_version() >= target_v {
+            return true;
+        }
+        if kv.checkpoint_failures() > failures0 {
+            return false;
+        }
+        assert!(Instant::now() < deadline, "checkpoint pump wedged: {tag}");
+        s.refresh();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+fn faster_wait_rest(kv: &FasterKv<u64>, s: &mut FasterSession<u64>, tag: &str) {
+    let deadline = Instant::now() + PUMP_DEADLINE;
+    while kv.state().0 != Phase::Rest {
+        assert!(Instant::now() < deadline, "never returned to REST: {tag}");
+        s.refresh();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Read through the recovered store, riding out the async pending path.
+fn faster_read(s: &mut FasterSession<u64>, key: u64, tag: &str) -> Option<u64> {
+    match s.read(key) {
+        ReadResult::Found(v) => Some(v),
+        ReadResult::NotFound => None,
+        ReadResult::Pending => {
+            let mut out = Vec::new();
+            for _ in 0..20_000 {
+                s.refresh();
+                s.drain_completions(&mut out);
+                if let Some(c) = out.iter().find(|c| c.key == key) {
+                    return c.value;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            panic!("pending read for key {key} never completed: {tag}");
+        }
+    }
+}
+
+fn faster_crash_case(seed: u64, variant: CheckpointVariant, point: CrashPoint) {
+    let label = crash_label(&point);
+    let tag = format!("faster {variant:?} case {label} seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    let ops_a = gen_ops(seed, 40);
+    let ops_b = gen_ops(seed ^ SPLIT, 25);
+    {
+        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = kv.start_session(7);
+        for &op in &ops_a {
+            faster_exec(&mut s, op);
+        }
+        while s.pending_len() > 0 {
+            s.refresh();
+        }
+        assert!(kv.request_checkpoint(variant, false), "{tag}");
+        assert!(faster_pump(&kv, &mut s, 1, 0, &tag), "fault-free commit must land: {tag}");
+        for &op in &ops_b {
+            faster_exec(&mut s, op);
+        }
+        while s.pending_len() > 0 {
+            s.refresh();
+        }
+        let failures0 = kv.checkpoint_failures();
+        let (_, v) = kv.state();
+        match point {
+            CrashPoint::Phase { phase, extra_ops } => {
+                assert!(kv.request_checkpoint(variant, false), "{tag}");
+                if phase == Phase::InProgress {
+                    let deadline = Instant::now() + PUMP_DEADLINE;
+                    while kv.state().0 == Phase::Prepare {
+                        assert!(Instant::now() < deadline, "stuck in PREPARE: {tag}");
+                        s.refresh();
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+                assert_eq!(kv.state().0, phase, "{tag}");
+                inj.crash_now();
+                for &op in &gen_ops(seed ^ (SPLIT << 1), extra_ops) {
+                    faster_exec(&mut s, op);
+                }
+            }
+            CrashPoint::WaitFlushOp { k } => {
+                // io 0 = index.dat; io 1 = log flush (fold-over) or
+                // snapshot.dat (snapshot); io 2 = manifest or later flush.
+                inj.crash_after(k);
+                assert!(kv.request_checkpoint(variant, false), "{tag}");
+            }
+            CrashPoint::TornManifest | CrashPoint::CommitThenFreeze { .. } => {
+                unreachable!("not part of the FASTER sweep")
+            }
+        }
+        assert!(!faster_pump(&kv, &mut s, v, failures0, &tag), "must abort: {tag}");
+        faster_wait_rest(&kv, &mut s, &tag);
+    }
+
+    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    let manifest = manifest.unwrap_or_else(|| panic!("committed checkpoint lost: {tag}"));
+    assert_eq!(manifest.version, 1, "{tag}");
+    let (mut s2, cpr_point) = kv2.continue_session(7);
+    assert_eq!(cpr_point, ops_a.len() as u64, "{tag}");
+    let model = model_replay(&ops_a);
+    for key in 0..KEYS {
+        assert_eq!(
+            faster_read(&mut s2, key, &tag),
+            model.get(&key).copied(),
+            "key {key}: {tag}"
+        );
+    }
+}
+
+/// FASTER fold-over: crash sweep across PREPARE / IN-PROGRESS /
+/// WAIT-FLUSH (index dump, log flush, manifest).
+#[test]
+fn faster_foldover_crash_sweep() {
+    let base = 0x0f01_d000_0000_0001u64;
+    for (i, point) in sweep_points(3).into_iter().enumerate() {
+        if matches!(point, CrashPoint::TornManifest) {
+            continue; // covered by the dedicated torn-manifest tests
+        }
+        faster_crash_case(base.wrapping_add(i as u64), CheckpointVariant::FoldOver, point);
+    }
+}
+
+/// FASTER snapshot: the same sweep against the snapshot variant
+/// (index dump, snapshot write, manifest).
+#[test]
+fn faster_snapshot_crash_sweep() {
+    let base = 0x54a9_0000_0000_0002u64;
+    for (i, point) in sweep_points(3).into_iter().enumerate() {
+        if matches!(point, CrashPoint::TornManifest) {
+            continue;
+        }
+        faster_crash_case(base.wrapping_add(i as u64), CheckpointVariant::Snapshot, point);
+    }
+}
+
+/// An injected failure on the index dump aborts the checkpoint; the
+/// retry (fault consumed) succeeds and recovers the full prefix.
+#[test]
+fn faster_transient_failure_aborts_then_next_checkpoint_succeeds() {
+    let seed = 0x7a75_0000_0000_0002u64;
+    let tag = format!("faster transient seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    let ops = gen_ops(seed, 50);
+    {
+        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = kv.start_session(7);
+        for &op in &ops {
+            faster_exec(&mut s, op);
+        }
+        while s.pending_len() > 0 {
+            s.refresh();
+        }
+        inj.fail_after(0);
+        assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false), "{tag}");
+        assert!(!faster_pump(&kv, &mut s, 1, 0, &tag), "must abort: {tag}");
+        assert_eq!(kv.checkpoint_failures(), 1, "{tag}");
+        assert_eq!(kv.committed_version(), 0, "no manifest after abort: {tag}");
+        faster_wait_rest(&kv, &mut s, &tag);
+        let (_, v) = kv.state();
+        assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false), "{tag}");
+        assert!(faster_pump(&kv, &mut s, v, 1, &tag), "retry must commit: {tag}");
+    }
+    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    assert!(manifest.is_some(), "{tag}");
+    let (mut s2, cpr_point) = kv2.continue_session(7);
+    assert_eq!(cpr_point, ops.len() as u64, "{tag}");
+    let model = model_replay(&ops);
+    for key in 0..KEYS {
+        assert_eq!(
+            faster_read(&mut s2, key, &tag),
+            model.get(&key).copied(),
+            "key {key}: {tag}"
+        );
+    }
+}
+
+/// A crash before the request is even made: `request_checkpoint` is
+/// rejected cleanly (begin fails), the state machine stays at REST, and
+/// the untouched directory recovers as a fresh store.
+#[test]
+fn faster_crash_before_request_is_rejected_cleanly() {
+    let seed = 0xdead_0000_0000_0003u64;
+    let tag = format!("faster pre-request crash seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    {
+        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = kv.start_session(7);
+        for &op in &gen_ops(seed, 30) {
+            faster_exec(&mut s, op);
+        }
+        inj.crash_now();
+        assert!(!kv.request_checkpoint(CheckpointVariant::FoldOver, false), "{tag}");
+        assert_eq!(kv.checkpoint_failures(), 1, "{tag}");
+        assert_eq!(kv.state(), (Phase::Rest, 1), "{tag}");
+    }
+    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    assert!(manifest.is_none(), "{tag}");
+    let (mut s2, cpr_point) = kv2.continue_session(7);
+    assert_eq!(cpr_point, 0, "{tag}");
+    for key in 0..KEYS {
+        assert_eq!(faster_read(&mut s2, key, &tag), None, "{tag}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded torture: arbitrary generated fault plans, replayable by seed
+// ---------------------------------------------------------------------------
+
+fn torture_memdb(seed: u64) {
+    let tag = format!("torture memdb seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::from_seed(seed, 8));
+    let ops = gen_ops(seed ^ SPLIT, 48);
+    let mut committed: HashMap<u64, u64> = HashMap::new(); // version -> prefix len
+    {
+        let db: MemDb<u64> = MemDb::open(memdb_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = db.session(1);
+        let mut done = 0u64;
+        for chunk in ops.chunks(12) {
+            for &op in chunk {
+                memdb_exec(&mut s, op);
+            }
+            done += chunk.len() as u64;
+            let (_, v) = db.state();
+            let failures0 = db.checkpoint_failures();
+            if db.request_commit() && memdb_pump(&db, &mut s, v, failures0, &tag) {
+                committed.insert(v, done);
+            }
+            memdb_wait_rest(&db, &mut s, &tag);
+        }
+    }
+    let (db2, manifest) = MemDb::<u64>::recover(memdb_opts(dir.path(), None)).unwrap();
+    let prefix = match &manifest {
+        Some(m) => *committed.get(&m.version).unwrap_or_else(|| {
+            panic!("recovered version {} was never seen committing: {tag}", m.version)
+        }),
+        None => {
+            assert!(committed.is_empty(), "committed checkpoint lost: {tag}");
+            0
+        }
+    };
+    if let Some(m) = &manifest {
+        assert_eq!(m.cpr_point(1), Some(prefix), "{tag}");
+    }
+    let model = model_replay(&ops[..prefix as usize]);
+    for key in 0..KEYS {
+        assert_eq!(db2.read(key), model.get(&key).copied(), "key {key}: {tag}");
+    }
+}
+
+fn torture_faster(seed: u64) {
+    let tag = format!("torture faster seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let inj = Arc::new(FaultInjector::from_seed(seed, 12));
+    let ops = gen_ops(seed ^ SPLIT, 48);
+    let mut committed: HashMap<u64, u64> = HashMap::new();
+    {
+        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let mut s = kv.start_session(11);
+        let mut done = 0u64;
+        for (i, chunk) in ops.chunks(12).enumerate() {
+            for &op in chunk {
+                faster_exec(&mut s, op);
+            }
+            done += chunk.len() as u64;
+            while s.pending_len() > 0 {
+                s.refresh();
+            }
+            let variant = if i % 2 == 0 {
+                CheckpointVariant::FoldOver
+            } else {
+                CheckpointVariant::Snapshot
+            };
+            let (_, v) = kv.state();
+            let failures0 = kv.checkpoint_failures();
+            if kv.request_checkpoint(variant, false) && faster_pump(&kv, &mut s, v, failures0, &tag)
+            {
+                committed.insert(v, done);
+            }
+            faster_wait_rest(&kv, &mut s, &tag);
+        }
+    }
+    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    let prefix = match &manifest {
+        Some(m) => *committed.get(&m.version).unwrap_or_else(|| {
+            panic!("recovered version {} was never seen committing: {tag}", m.version)
+        }),
+        None => {
+            assert!(committed.is_empty(), "committed checkpoint lost: {tag}");
+            0
+        }
+    };
+    let (mut s2, cpr_point) = kv2.continue_session(11);
+    assert_eq!(cpr_point, prefix, "{tag}");
+    let model = model_replay(&ops[..prefix as usize]);
+    for key in 0..KEYS {
+        assert_eq!(
+            faster_read(&mut s2, key, &tag),
+            model.get(&key).copied(),
+            "key {key}: {tag}"
+        );
+    }
+}
+
+/// Generated fault plans ([`FaultPlan::from_seed`]): whatever the
+/// schedule does — transient failures, torn writes, delays, a crash —
+/// the system must not panic or wedge, and recovery must reproduce
+/// exactly the last committed prefix. Each seed is printed; pin it to
+/// replay a failure.
+#[test]
+fn seeded_fault_plans_recover_a_committed_prefix() {
+    for &seed in &[
+        0x0000_0000_0000_002au64,
+        0x0000_0000_dead_beef,
+        0x1234_5678_9abc_def0,
+        0xfeed_face_cafe_f00d,
+        0x0bad_5eed_0bad_5eed,
+    ] {
+        torture_memdb(seed);
+        torture_faster(seed ^ SPLIT);
+    }
+}

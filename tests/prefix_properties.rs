@@ -18,12 +18,16 @@ use cpr::memdb::{Access, DbValue, Durability, MemDb, MemDbOptions, TxnRequest};
 enum Op {
     Upsert { key: u64, val: u64 },
     Merge { key: u64, delta: u64 },
+    /// Deletes must cross the live/stable version-shift path like writes:
+    /// a delete before the CPR point is durable, one after is discarded.
+    Delete { key: u64 },
 }
 
 fn op_strategy(keys: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..keys, 0u64..1_000_000).prop_map(|(key, val)| Op::Upsert { key, val }),
         (0..keys, 1u64..100).prop_map(|(key, delta)| Op::Merge { key, delta }),
+        (0..keys).prop_map(|key| Op::Delete { key }),
     ]
 }
 
@@ -35,6 +39,9 @@ fn model_apply(model: &mut HashMap<u64, u64>, op: Op) {
         Op::Merge { key, delta } => {
             *model.entry(key).or_insert(0) =
                 model.get(&key).copied().unwrap_or(0).wrapping_add(delta);
+        }
+        Op::Delete { key } => {
+            model.remove(&key);
         }
     }
 }
@@ -67,6 +74,7 @@ proptest! {
                 let (access, key, seed) = match op {
                     Op::Upsert { key, val } => (Access::Write, key, val),
                     Op::Merge { key, delta } => (Access::Merge, key, delta),
+                    Op::Delete { key } => (Access::Delete, key, 0), // seed unused
                 };
                 let accesses = [(key, access)];
                 let seeds = [seed];
@@ -119,6 +127,7 @@ proptest! {
                 let (access, key, seed) = match op {
                     Op::Upsert { key, val } => (Access::Write, key, val),
                     Op::Merge { key, delta } => (Access::Merge, key, delta),
+                    Op::Delete { key } => (Access::Delete, key, 0), // seed unused
                 };
                 let accesses = [(key, access)];
                 let seeds = [seed];
@@ -167,6 +176,7 @@ proptest! {
                 match op {
                     Op::Upsert { key, val } => { s.upsert(key, val); }
                     Op::Merge { key, delta } => { s.rmw(key, delta); }
+                    Op::Delete { key } => { s.delete(key); }
                 }
                 model_apply(&mut model, op);
             }
@@ -181,6 +191,7 @@ proptest! {
                 match op {
                     Op::Upsert { key, val } => { s.upsert(key, val); }
                     Op::Merge { key, delta } => { s.rmw(key, delta); }
+                    Op::Delete { key } => { s.delete(key); }
                 }
             }
         }

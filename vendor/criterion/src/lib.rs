@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`: same macro/builder surface
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`) with a simple wall-clock measurement
+//! loop instead of the real statistical engine. Good enough to keep the
+//! bench targets compiling and producing comparable ns/iter numbers.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bench configuration + reporter.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing the clock reads over auto-sized batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, and derive a batch size targeting ~1ms per sample so
+        // Instant::now overhead stays negligible for nanosecond routines.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as f64 / iters.max(1) as f64;
+        let batch = ((1_000_000.0 / per_iter.max(0.1)) as u64).clamp(1, 10_000_000);
+
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            let mut done: u64 = 0;
+            loop {
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                done += batch;
+                if sample_start.elapsed() >= budget_per_sample {
+                    break;
+                }
+            }
+            let ns = sample_start.elapsed().as_nanos() as f64 / done as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median = sorted[sorted.len() / 2];
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        println!("{id:<40} time: [{lo:>10.2} ns {median:>10.2} ns {hi:>10.2} ns]");
+    }
+}
+
+/// Defines a group function running each target with the given config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut x = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        assert!(x > 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam-utils`, providing the subset this
+//! workspace uses: [`CachePadded`]. The container building this repo has
+//! no network access to crates.io, so the external crates are replaced by
+//! API-compatible local implementations (see `vendor/README.md`).
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing
+/// false sharing between adjacent hot atomics.
+///
+/// 128-byte alignment matches crossbeam's choice on x86_64 (two 64-byte
+/// lines, covering the spatial prefetcher pair).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

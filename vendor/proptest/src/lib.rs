@@ -1,0 +1,563 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` test macro
+//! (with `#![proptest_config]`, `name in strategy` and `name: Type`
+//! parameters), `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`,
+//! `prop_oneof!`, range and tuple strategies, `prop_map`,
+//! `prop::collection::{vec, hash_set}`, and `any::<T>()`.
+//!
+//! Differences from the real crate: no shrinking — instead every case is
+//! generated from a deterministic per-case seed, and a failure report
+//! prints `PROPTEST_CASE_SEED=<u64>` which replays exactly that case
+//! (run with the env var set to re-execute only the failing input).
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+
+    /// RNG handed to strategies; seeded per test case.
+    pub type TestRng = SmallRng;
+
+    /// Generates values of `Self::Value` from a seeded RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe inner trait so [`BoxedStrategy`] can erase the concrete
+    /// strategy type (the public [`Strategy`] trait has generic methods).
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<V> {
+        inner: std::rc::Rc<dyn DynStrategy<V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// `strategy.prop_map(f)`.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            use rand::Rng;
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// `Just`-style constant strategy (parity with the real API surface).
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, min..max)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::hash_set(element, min..max)`. The element domain
+    /// must be large enough to reach `min` distinct values.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let want = rng.gen_range(self.size.clone());
+            let mut out = HashSet::new();
+            // Cap draws so a too-small element domain fails loudly instead
+            // of spinning forever.
+            let mut attempts = 0usize;
+            while out.len() < want {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+                if attempts > want.saturating_mul(1000) + 10_000 {
+                    panic!(
+                        "hash_set strategy could not reach {want} distinct elements \
+                         after {attempts} draws — element domain too small?"
+                    );
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` is meaningful in the stand-in.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Assertion failure inside a property body (from `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    /// Drives `case` for each configured case with a deterministic
+    /// per-case seed. `PROPTEST_CASE_SEED=<u64>` replays a single case.
+    pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        if let Ok(seed_text) = std::env::var("PROPTEST_CASE_SEED") {
+            let seed: u64 = seed_text
+                .trim()
+                .parse()
+                .expect("PROPTEST_CASE_SEED must be a u64");
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest `{test_name}` failed replaying PROPTEST_CASE_SEED={seed}: {e}");
+            }
+            return;
+        }
+        // Deterministic base: stable across runs (CI-friendly), distinct
+        // per test so sibling properties don't see identical streams.
+        let base = test_name
+            .bytes()
+            .fold(0x00C0_FFEE_5EED_u64, |h, b| splitmix(h ^ b as u64));
+        for case_idx in 0..config.cases {
+            let seed = splitmix(base ^ (case_idx as u64).wrapping_mul(0x2545F4914F6CDD1D));
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!(
+                    "proptest `{test_name}` case {case_idx} failed \
+                     (replay: PROPTEST_CASE_SEED={seed}): {e}"
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Lets test code write `prop::collection::vec(...)`.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-definition macro. Handles an optional leading
+/// `#![proptest_config(...)]` and any number of test functions whose
+/// parameters are `name in strategy` or `name: Type` (meaning
+/// `any::<Type>()`), in any mix, with optional trailing comma.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::__proptest_params!(@munch __config; stringify!($name); $body; []; $($params)*);
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // Done munching: emit the runner call.
+    (@munch $config:ident; $name:expr; $body:block; [$(($pat:pat, $strategy:expr))*];) => {
+        $crate::test_runner::run_cases($config, $name, |__rng| {
+            $(let $pat = $crate::strategy::Strategy::generate(&($strategy), __rng);)*
+            let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            };
+            __case()
+        });
+    };
+    // `name: Type` (trailing / followed by more params).
+    (@munch $config:ident; $name:expr; $body:block; [$($acc:tt)*]; $p:ident : $t:ty) => {
+        $crate::__proptest_params!(@munch $config; $name; $body;
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())];);
+    };
+    (@munch $config:ident; $name:expr; $body:block; [$($acc:tt)*]; $p:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!(@munch $config; $name; $body;
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())]; $($rest)*);
+    };
+    // `pattern in strategy` (trailing / followed by more params).
+    (@munch $config:ident; $name:expr; $body:block; [$($acc:tt)*]; $p:pat in $s:expr) => {
+        $crate::__proptest_params!(@munch $config; $name; $body; [$($acc)* ($p, $s)];);
+    };
+    (@munch $config:ident; $name:expr; $body:block; [$($acc:tt)*]; $p:pat in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!(@munch $config; $name; $body; [$($acc)* ($p, $s)]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u64..100, b in 5u32..=9, c: bool) {
+            prop_assert!(a < 100);
+            prop_assert!((5..=9).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u64..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn hash_set_distinct(s in prop::collection::hash_set(0u64..500, 1..20)) {
+            prop_assert!(!s.is_empty() && s.len() < 20);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![
+                (0u64..10, 0u64..10).prop_map(|(a, b)| a + b),
+                (100u64..110).prop_map(|a| a),
+            ],
+        ) {
+            prop_assert!(x < 19 || (100..110).contains(&x), "got {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_CASE_SEED=")]
+    fn failure_reports_replay_seed() {
+        crate::test_runner::run_cases(
+            crate::test_runner::ProptestConfig {
+                cases: 1,
+                ..Default::default()
+            },
+            "always_fails",
+            |_rng| Err(crate::test_runner::TestCaseError::fail("boom")),
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..6);
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let mut out = Vec::new();
+            crate::test_runner::run_cases(
+                crate::test_runner::ProptestConfig {
+                    cases: 3,
+                    ..Default::default()
+                },
+                "det",
+                |rng| {
+                    out.push(strat.generate(rng));
+                    Ok(())
+                },
+            );
+            seen.push(out);
+        }
+        assert_eq!(seen[0], seen[1]);
+    }
+}

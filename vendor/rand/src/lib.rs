@@ -1,0 +1,235 @@
+//! Offline stand-in for `rand`, providing the subset this workspace uses:
+//! `RngCore`, `SeedableRng::seed_from_u64`, the `Rng` extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and `rngs::SmallRng`.
+//!
+//! `SmallRng` is xoshiro256** seeded through SplitMix64 — the same
+//! construction the real crate uses on 64-bit targets, chosen here for
+//! identical statistical character and cheap replayability from one u64.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seeding support; only the `seed_from_u64` entry point is used here.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+mod distributions {
+    use super::RngCore;
+
+    /// Types drawable uniformly from their full domain (`rng.gen()`).
+    pub trait Standard: Sized {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl Standard for usize {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 uniform bits into [0, 1), the standard conversion.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Range argument accepted by `rng.gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                    // Debiased multiply-shift (Lemire): reject the short slice
+                    // below `threshold` so every value is equally likely.
+                    let threshold = span.wrapping_neg() % span;
+                    loop {
+                        let m = (rng.next_u64() as u128) * (span as u128);
+                        if (m as u64) >= threshold {
+                            return self.start.wrapping_add(((m >> 64) as u64) as $t);
+                        }
+                    }
+                }
+            }
+
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start..end.wrapping_add(1)).sample_from(rng)
+                }
+            }
+        )*};
+    }
+
+    int_range!(u64, u32, usize, u8, i64, i32);
+}
+
+pub use distributions::{SampleRange, Standard};
+
+/// Convenience extension over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — small, fast, and good enough for test schedules.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = r.gen_range(0..3);
+            assert!(w < 3);
+            let x: u64 = r.gen_range(5..=5);
+            assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} not ~0.5");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

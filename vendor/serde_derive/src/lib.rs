@@ -1,0 +1,263 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s simplified `Serialize`/`Deserialize`
+//! traits (a `Value`-tree model, see `vendor/serde`). No `syn`/`quote` —
+//! the input item is walked with `proc_macro`'s own token trees, which is
+//! enough for the two shapes this workspace derives on:
+//!
+//! - structs with named fields (`CheckpointManifest`, `SessionCpr`)
+//! - enums of unit variants, optionally with explicit discriminants
+//!   (`CheckpointKind`, `Phase`)
+//!
+//! Anything else (tuple structs, data-carrying variants, generics) is a
+//! compile error pointing here, so a future change fails loudly instead
+//! of silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Walks the item header (attributes, visibility, `struct`/`enum` keyword,
+/// name) and the brace-delimited body into a [`Shape`].
+fn parse_shape(input: TokenStream, trait_name: &str) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            // `#[attr]` / doc comment: skip the bracket group too.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // `pub(crate)` etc: skip the restriction group.
+                if matches!(
+                    iter.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                break;
+            }
+            other => panic!(
+                "derive({trait_name}): unexpected token `{other}` before struct/enum keyword"
+            ),
+        }
+    }
+    let kind = kind.unwrap_or_else(|| panic!("derive({trait_name}): no struct/enum keyword"));
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive({trait_name}) on {name}: generics are not supported by the vendored serde_derive")
+            }
+            Some(_) => continue,
+            None => panic!(
+                "derive({trait_name}) on {name}: only braced bodies are supported (no tuple/unit items)"
+            ),
+        }
+    };
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: parse_named_fields(body, trait_name),
+        }
+    } else {
+        Shape::Enum {
+            name,
+            variants: parse_unit_variants(body, trait_name),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream, trait_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(tt) if is_punct(tt, '#') => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if matches!(
+                        iter.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        iter.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                panic!("derive({trait_name}): expected field name, got `{other}`")
+            }
+            None => break,
+        };
+        match iter.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!(
+                "derive({trait_name}): expected `:` after field `{field}`, got {other:?}"
+            ),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0, so
+        // `Vec<SessionCpr>` and `HashMap<K, V>` both terminate correctly.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if is_punct(&tt, '<') {
+                angle_depth += 1;
+            } else if is_punct(&tt, '>') {
+                angle_depth -= 1;
+            } else if is_punct(&tt, ',') && angle_depth == 0 {
+                break;
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream, trait_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(tt) if is_punct(tt, '#') => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let variant = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                panic!("derive({trait_name}): expected variant name, got `{other}`")
+            }
+            None => break,
+        };
+        // Unit variants only; an explicit `= discriminant` is skipped.
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(tt) if is_punct(&tt, ',') => {}
+            Some(tt) if is_punct(&tt, '=') => {
+                for tt in iter.by_ref() {
+                    if is_punct(&tt, ',') {
+                        break;
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "derive({trait_name}): variant `{variant}` carries data — only unit variants are supported by the vendored serde_derive"
+            ),
+            Some(other) => {
+                panic!("derive({trait_name}): unexpected token `{other}` after variant `{variant}`")
+            }
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input, "Serialize") {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input, "Deserialize") {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__v, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"{name}: expected object, got {{}}\", __v.kind())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v.as_str() {{\n\
+                             {arms}\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"{name}: unknown variant {{}}\", __v.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for `tempfile`, providing the subset this workspace
+//! uses: [`tempdir()`] returning a [`TempDir`] that deletes its directory
+//! tree on drop. Names are made unique by pid + a process-wide counter +
+//! a clock-derived nonce, so concurrent test processes don't collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl AsRef<Path> for TempDir {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Creates a fresh uniquely-named directory in [`std::env::temp_dir`].
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = base.join(format!(".tmp-cpr-{pid}-{n}-{nonce:08x}"));
+        match std::fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let keep;
+        {
+            let d = tempdir().unwrap();
+            keep = d.path().to_path_buf();
+            std::fs::write(d.path().join("x.txt"), b"hi").unwrap();
+            assert!(keep.exists());
+        }
+        assert!(!keep.exists(), "directory removed on drop");
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
