@@ -67,7 +67,9 @@ impl Args {
 
 pub fn usage() -> String {
     "usage: cpr-bench <experiment> [--seconds S] [--threads a,b,c] [--keys N] [--part P]\n\
-     experiments: fig02 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 phases ablation extra all"
+     \u{20}       stragglers also takes [--stall-every N] [--stall-ms M]\n\
+     experiments: fig02 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 phases ablation \
+     extra stragglers all"
         .to_string()
 }
 

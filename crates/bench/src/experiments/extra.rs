@@ -65,6 +65,7 @@ fn run_fixed<V: cpr_core::Pod + From8>(
         io_threads: 2,
         rmw,
         fault: None,
+        liveness: None,
     };
     let kv = FasterKv::open(opts).unwrap();
     let mut s = kv.start_session(1);

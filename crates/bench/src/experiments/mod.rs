@@ -4,3 +4,4 @@ pub mod ablation;
 pub mod extra;
 pub mod faster_figs;
 pub mod memdb_figs;
+pub mod stragglers;

@@ -40,6 +40,7 @@ fn main() {
         "phases" => experiments::faster_figs::phases(&args),
         "ablation" => experiments::ablation::ablation(&args),
         "extra" => experiments::extra::extra(&args),
+        "stragglers" => experiments::stragglers::stragglers(&args),
         "all" => {
             experiments::memdb_figs::fig02(&args);
             experiments::memdb_figs::fig10(&args);

@@ -17,6 +17,7 @@
 //!   recording per-session CPR points;
 //! * [`manifest`] — durable checkpoint metadata.
 
+pub mod liveness;
 pub mod manifest;
 mod phase;
 mod sessions;
@@ -24,6 +25,9 @@ mod state;
 pub mod sync;
 pub mod value;
 
+pub use liveness::{
+    BusyState, Clock, CommitOutcome, LivenessConfig, SessionStatus, SystemClock, VirtualClock,
+};
 pub use manifest::{CheckpointKind, CheckpointManifest, SessionCpr};
 pub use phase::Phase;
 pub use sessions::{SessionId, SessionRegistry, SessionSlot};

@@ -1,0 +1,308 @@
+//! Session liveness: leases, clocks, and commit-outcome reporting.
+//!
+//! CPR's commit protocol advances a phase only when *every* registered
+//! session has refreshed into it, so one stalled, preempted, or dead
+//! client thread wedges the checkpoint forever. The liveness layer gives
+//! each session a **lease**: a heartbeat word bumped (one relaxed store)
+//! on every refresh, measured against a coarse monotonic [`Clock`]. A
+//! watchdog owned by the engine scans the heartbeats while a commit is in
+//! flight and, after a grace period, either *proxy-advances* an idle
+//! straggler, *evicts* one parked mid-transaction, or aborts the
+//! checkpoint and retries with backoff when the straggler holds locks.
+//!
+//! The clock is a trait so tests drive virtual time deterministically.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::sessions::SessionId;
+
+/// Coarse monotonic time source measured in abstract *ticks*.
+///
+/// The watchdog compares heartbeat ticks against `now()`; nothing in the
+/// protocol depends on the tick unit, only on monotonicity.
+pub trait Clock: Send + Sync + fmt::Debug {
+    fn now(&self) -> u64;
+}
+
+/// Wall-clock ticks in milliseconds since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A manually driven clock for deterministic liveness tests.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks: AtomicU64,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        VirtualClock {
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance virtual time by `n` ticks.
+    pub fn advance(&self, n: u64) {
+        self.ticks.fetch_add(n, Ordering::AcqRel);
+    }
+
+    pub fn set(&self, t: u64) {
+        self.ticks.fetch_max(t, Ordering::AcqRel);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Acquire)
+    }
+}
+
+/// Lease state of a session, written only via CAS so the watchdog and the
+/// owning session thread arbitrate hand-offs race-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Normal operation.
+    Active,
+    /// The watchdog observed a stale lease and suspended the session; the
+    /// owner must refresh and reactivate before issuing operations. While
+    /// suspended, the watchdog may publish phase state on its behalf.
+    Suspended,
+    /// The lease expired while the session was mid-operation: the session
+    /// is dead to the store. Operations fail with a retryable eviction
+    /// error; the client must open a fresh session.
+    Evicted,
+    /// Transient: the watchdog is publishing state on the session's
+    /// behalf. The owner must wait for `Suspended` before reactivating,
+    /// so a proxy publish can never interleave with an owner resuming.
+    Proxying,
+}
+
+impl SessionStatus {
+    #[inline]
+    pub fn from_u64(w: u64) -> Self {
+        match w {
+            0 => SessionStatus::Active,
+            1 => SessionStatus::Suspended,
+            2 => SessionStatus::Evicted,
+            _ => SessionStatus::Proxying,
+        }
+    }
+}
+
+/// What the owning session thread is doing right now, published with
+/// sequentially consistent stores so the watchdog's decision table can
+/// trust it (Dekker-style flag, see the watchdog module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyState {
+    /// Between operations (safe to proxy-advance).
+    Idle,
+    /// Inside an operation but not yet holding any locks (safe to evict).
+    InTxn,
+    /// Acquiring or holding 2PL locks / latches: neither proxy-advance nor
+    /// eviction is safe — the checkpoint must abort and retry.
+    Locking,
+}
+
+impl BusyState {
+    #[inline]
+    pub fn from_u64(w: u64) -> Self {
+        match w {
+            0 => BusyState::Idle,
+            1 => BusyState::InTxn,
+            _ => BusyState::Locking,
+        }
+    }
+}
+
+/// Watchdog configuration. Opt-in: engines without one never touch the
+/// lease words beyond the single heartbeat store per refresh.
+#[derive(Debug, Clone)]
+pub struct LivenessConfig {
+    /// Tick source for heartbeats and grace measurement.
+    pub clock: Arc<dyn Clock>,
+    /// Ticks a session's lease may go unrenewed during an in-flight
+    /// commit before the watchdog acts on it.
+    pub grace_ticks: u64,
+    /// Real-time interval between watchdog scans (virtual-clock tests keep
+    /// this small; grace is still measured in clock ticks).
+    pub poll_interval: Duration,
+    /// Commit attempts (initial + retries) before the watchdog gives up
+    /// and reports the blockers.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff, in clock ticks.
+    pub backoff_base_ticks: u64,
+    /// Maximum uniformly distributed jitter added per backoff, in ticks.
+    pub backoff_jitter_ticks: u64,
+    /// Seed for the jitter PRNG (deterministic under test).
+    pub seed: u64,
+}
+
+impl LivenessConfig {
+    /// Millisecond wall-clock defaults: 1 s grace, 5 attempts.
+    pub fn system() -> Self {
+        Self::with_clock(Arc::new(SystemClock::new()))
+    }
+
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        LivenessConfig {
+            clock,
+            grace_ticks: 1000,
+            poll_interval: Duration::from_millis(1),
+            max_attempts: 5,
+            backoff_base_ticks: 10,
+            backoff_jitter_ticks: 10,
+            seed: 0x5EED_CAFE,
+        }
+    }
+
+    pub fn grace_ticks(mut self, t: u64) -> Self {
+        self.grace_ticks = t;
+        self
+    }
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+    pub fn backoff_base_ticks(mut self, t: u64) -> Self {
+        self.backoff_base_ticks = t;
+        self
+    }
+    pub fn backoff_jitter_ticks(mut self, t: u64) -> Self {
+        self.backoff_jitter_ticks = t;
+        self
+    }
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential in the
+    /// base, plus jitter drawn from `rng_state` (xorshift, caller-owned).
+    pub fn backoff_ticks(&self, attempt: u32, rng_state: &mut u64) -> u64 {
+        let exp = self
+            .backoff_base_ticks
+            .saturating_mul(1u64 << attempt.min(20));
+        let jitter = if self.backoff_jitter_ticks == 0 {
+            0
+        } else {
+            xorshift64(rng_state) % (self.backoff_jitter_ticks + 1)
+        };
+        exp.saturating_add(jitter)
+    }
+}
+
+/// Minimal xorshift64 step — enough for backoff jitter without pulling a
+/// PRNG dependency into the core crate.
+#[inline]
+pub fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = (*state).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Report of the most recent watchdog-supervised commit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Commit attempts made (1 = clean first try).
+    pub attempts: u32,
+    /// Sessions whose phase state the watchdog published on their behalf.
+    pub proxy_advanced: Vec<SessionId>,
+    /// Sessions evicted mid-transaction.
+    pub evicted: Vec<SessionId>,
+    /// Checkpoint attempts rolled back via `CheckpointStore::abort`.
+    pub aborted: u32,
+    /// The version that became durable, if the commit succeeded.
+    pub committed_version: Option<u64>,
+    /// True when `max_attempts` was exhausted without a durable commit.
+    pub gave_up: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now(), 12);
+        c.set(10); // fetch_max: never goes backwards
+        assert_eq!(c.now(), 12);
+        c.set(50);
+        assert_eq!(c.now(), 50);
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn backoff_grows_and_jitters_deterministically() {
+        let cfg = LivenessConfig::with_clock(Arc::new(VirtualClock::new()))
+            .backoff_base_ticks(10)
+            .backoff_jitter_ticks(5)
+            .seed(42);
+        let mut s1 = 42u64;
+        let mut s2 = 42u64;
+        let a: Vec<u64> = (1..=4).map(|i| cfg.backoff_ticks(i, &mut s1)).collect();
+        let b: Vec<u64> = (1..=4).map(|i| cfg.backoff_ticks(i, &mut s2)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (i, w) in a.iter().enumerate() {
+            let exp = 10u64 << (i as u32 + 1);
+            assert!(*w >= exp && *w <= exp + 5, "attempt {i}: {w} vs base {exp}");
+        }
+    }
+
+    #[test]
+    fn status_and_busy_roundtrip() {
+        for s in [
+            SessionStatus::Active,
+            SessionStatus::Suspended,
+            SessionStatus::Evicted,
+            SessionStatus::Proxying,
+        ] {
+            assert_eq!(SessionStatus::from_u64(s as u64), s);
+        }
+        for b in [BusyState::Idle, BusyState::InTxn, BusyState::Locking] {
+            assert_eq!(BusyState::from_u64(b as u64), b);
+        }
+    }
+}

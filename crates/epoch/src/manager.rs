@@ -12,6 +12,19 @@ use crate::drain::{Action, Condition, DrainEntry};
 /// Slot value meaning "unregistered". Real epochs start at 1.
 const FREE: u64 = 0;
 
+/// Slot value meaning "registered, but the owner is presumed dead or
+/// parked": the slot no longer pins the safe epoch, yet stays claimed so
+/// a new registrant cannot reuse it while the owner might still wake.
+///
+/// Transitions: `epoch → STALE` only via [`EpochManager::release_stale`]
+/// (watchdog, any thread); `STALE → epoch` only via the owner's plain
+/// refresh store (resurrection — the owner was merely parked);
+/// `STALE → FREE` only via the owner's guard drop or its thread-exit
+/// sentinel (the owner can never store again). [`EpochManager::register`]
+/// claims only `FREE` slots, so a stale slot is never handed to a second
+/// thread.
+const STALE: u64 = u64::MAX;
+
 /// Shared epoch state for a group of cooperating threads.
 ///
 /// One instance is shared (via `Arc`) by all threads of a store/database.
@@ -88,6 +101,7 @@ impl EpochManager {
                 return Guard {
                     mgr: Arc::clone(self),
                     slot: i,
+                    exit_flag: None,
                 };
             }
         }
@@ -104,7 +118,9 @@ impl EpochManager {
         let mut min_local = u64::MAX;
         for slot in self.table.iter() {
             let e = slot.load(Ordering::Acquire);
-            if e != FREE && e < min_local {
+            // FREE slots have no owner; STALE slots belong to a thread the
+            // watchdog declared dead or parked — neither pins safety.
+            if e != FREE && e != STALE && e < min_local {
                 min_local = e;
             }
         }
@@ -171,6 +187,79 @@ impl EpochManager {
     pub fn pending_actions(&self) -> usize {
         self.drain_len.load(Ordering::Acquire)
     }
+
+    /// Mark `slot` stale on behalf of a thread presumed dead or parked:
+    /// its pinned epoch stops holding back the safe epoch, but the slot
+    /// stays claimed (only the owner can free or resurrect it). Returns
+    /// `true` if the slot was live and is now stale; idempotently `true`
+    /// if already stale; `false` for a free slot.
+    ///
+    /// Safe to call from any thread, racing the owner: if the owner's
+    /// refresh store wins, the slot is simply live again (it *was* awake),
+    /// and the caller's next scan re-stales it if warranted.
+    pub fn release_stale(&self, slot: usize) -> bool {
+        let s = &self.table[slot];
+        loop {
+            let cur = s.load(Ordering::Acquire);
+            match cur {
+                FREE => return false,
+                STALE => return true,
+                e => {
+                    if s.compare_exchange(e, STALE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // The departure may have made epochs safe.
+                        self.try_drain();
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of slots currently marked stale.
+    pub fn stale(&self) -> usize {
+        self.table
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) == STALE)
+            .count()
+    }
+}
+
+// ---- thread-exit reclamation ------------------------------------------------
+
+use std::cell::RefCell;
+use std::sync::atomic::AtomicBool;
+use std::sync::Weak;
+
+struct ExitSentinel {
+    mgr: Weak<EpochManager>,
+    slot: usize,
+    /// Cleared by the guard's normal drop; the sentinel only acts if the
+    /// guard was leaked (so the slot can never be a reused one).
+    armed: Arc<AtomicBool>,
+}
+
+struct SentinelList(RefCell<Vec<ExitSentinel>>);
+
+impl Drop for SentinelList {
+    fn drop(&mut self) {
+        for s in self.0.borrow_mut().drain(..) {
+            if s.armed.load(Ordering::Acquire) {
+                if let Some(mgr) = s.mgr.upgrade() {
+                    // The owner thread is exiting: it can never store to
+                    // this slot again, so FREE (not STALE) is safe and the
+                    // slot returns to the pool.
+                    mgr.table[s.slot].store(FREE, Ordering::Release);
+                    mgr.try_drain();
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static EXIT_SENTINELS: SentinelList = const { SentinelList(RefCell::new(Vec::new())) };
 }
 
 impl std::fmt::Debug for EpochManager {
@@ -189,6 +278,7 @@ impl std::fmt::Debug for EpochManager {
 pub struct Guard {
     mgr: Arc<EpochManager>,
     slot: usize,
+    exit_flag: Option<Arc<AtomicBool>>,
 }
 
 impl Guard {
@@ -232,10 +322,34 @@ impl Guard {
     pub fn slot(&self) -> usize {
         self.slot
     }
+
+    /// Arm a thread-exit sentinel on the *calling* thread: if the thread
+    /// exits while this guard is still alive (leaked, or the session
+    /// object was never dropped), the slot is freed at thread teardown so
+    /// a dead thread's pinned epoch cannot pin `safe` forever. A normal
+    /// guard drop disarms the sentinel first, so a reused slot is never
+    /// stomped.
+    pub fn arm_exit_sentinel(&mut self) {
+        if self.exit_flag.is_some() {
+            return;
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        EXIT_SENTINELS.with(|l| {
+            l.0.borrow_mut().push(ExitSentinel {
+                mgr: Arc::downgrade(&self.mgr),
+                slot: self.slot,
+                armed: Arc::clone(&flag),
+            });
+        });
+        self.exit_flag = Some(flag);
+    }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
+        if let Some(flag) = &self.exit_flag {
+            flag.store(false, Ordering::Release);
+        }
         self.mgr.table[self.slot].store(FREE, Ordering::Release);
         // Our departure may have made epochs safe.
         self.mgr.try_drain();

@@ -223,6 +223,114 @@ fn safe_epoch_is_monotone_under_concurrency() {
 }
 
 #[test]
+fn release_stale_unpins_safe_epoch() {
+    let mgr = Arc::new(EpochManager::new(4));
+    let g1 = mgr.register();
+    let g2 = mgr.register(); // the "parked" thread: never refreshes again
+    g2.refresh();
+    g1.bump_epoch(|| {});
+    g1.refresh();
+    assert_eq!(mgr.compute_safe(), 0, "g2 pins epoch 1");
+    assert!(mgr.release_stale(g2.slot()));
+    assert!(mgr.release_stale(g2.slot()), "idempotent on stale");
+    assert_eq!(mgr.compute_safe(), 1, "stale slot no longer pins");
+    assert_eq!(mgr.stale(), 1);
+    drop(g2);
+    assert_eq!(mgr.stale(), 0, "owner drop frees a stale slot");
+    drop(g1);
+}
+
+#[test]
+fn release_stale_fires_blocked_actions() {
+    let mgr = Arc::new(EpochManager::new(4));
+    let g1 = mgr.register();
+    let parked = mgr.register();
+    let fired = Arc::new(AtomicBool::new(false));
+    let f = fired.clone();
+    g1.bump_epoch(move || f.store(true, Ordering::SeqCst));
+    g1.refresh();
+    assert!(!fired.load(Ordering::SeqCst), "parked guard blocks the drain");
+    mgr.release_stale(parked.slot());
+    g1.refresh();
+    assert!(fired.load(Ordering::SeqCst));
+    drop(parked);
+    drop(g1);
+}
+
+#[test]
+fn stale_slot_is_not_reused_and_owner_resurrects() {
+    let mgr = Arc::new(EpochManager::new(2));
+    let parked = mgr.register();
+    mgr.release_stale(parked.slot());
+    let other = mgr.register();
+    assert_ne!(other.slot(), parked.slot(), "stale slot must stay claimed");
+    // The owner was merely parked: its next refresh resurrects the slot.
+    parked.refresh();
+    assert_eq!(mgr.stale(), 0);
+    assert_eq!(parked.local(), mgr.current());
+    // And it pins the safe epoch again.
+    other.bump_epoch(|| {});
+    other.refresh();
+    assert!(mgr.compute_safe() < parked.local());
+    drop(parked);
+    drop(other);
+}
+
+#[test]
+fn release_stale_on_free_slot_is_noop() {
+    let mgr = Arc::new(EpochManager::new(2));
+    assert!(!mgr.release_stale(0));
+    let g = mgr.register();
+    let s = g.slot();
+    drop(g);
+    assert!(!mgr.release_stale(s));
+}
+
+#[test]
+fn exit_sentinel_frees_slot_of_dead_thread() {
+    let mgr = Arc::new(EpochManager::new(2));
+    let g1 = mgr.register();
+    let mgr2 = Arc::clone(&mgr);
+    thread::spawn(move || {
+        let mut g = mgr2.register();
+        g.arm_exit_sentinel();
+        g.refresh();
+        // Simulate a client that dies without tearing down its session:
+        // the guard is leaked, so only the sentinel can free the slot.
+        std::mem::forget(g);
+    })
+    .join()
+    .unwrap();
+    assert_eq!(mgr.registered(), 1, "dead thread's slot was reclaimed");
+    // The freed slot no longer pins the safe epoch.
+    g1.bump_epoch(|| {});
+    g1.refresh();
+    assert_eq!(mgr.safe(), mgr.current() - 1);
+    drop(g1);
+}
+
+#[test]
+fn exit_sentinel_disarms_on_normal_drop() {
+    let mgr = Arc::new(EpochManager::new(1));
+    let mgr2 = Arc::clone(&mgr);
+    thread::spawn(move || {
+        let mut g = mgr2.register();
+        g.arm_exit_sentinel();
+        g.refresh();
+        drop(g);
+        // The slot is free: a new registrant (same thread) may claim it.
+        // The disarmed sentinel must not stomp the new owner at exit.
+        let g2 = mgr2.register();
+        g2.refresh();
+        std::mem::forget(g2); // intentionally leaked, but NOT armed
+    })
+    .join()
+    .unwrap();
+    // The leaked unarmed guard still holds the slot (leak = still owner).
+    assert_eq!(mgr.registered(), 1);
+}
+
+#[test]
 fn local_epoch_visible_after_refresh() {
     let mgr = Arc::new(EpochManager::new(2));
     let g = mgr.register();

@@ -153,6 +153,104 @@ fn conditional_actions_wait_for_condition_under_concurrency() {
     }
 }
 
+fn stress_seed() -> u64 {
+    std::env::var("CPR_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = (*state).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Watchdog-style lease race: workers refresh (resurrecting their slot if
+/// it was staled) while a reaper thread keeps staling every slot it sees.
+/// Despite the churn, every bumped action fires exactly once, and the
+/// final drain succeeds even with workers parked forever at the end.
+/// Seeded via `CPR_STRESS_SEED` (the CI stress job sweeps seeds).
+#[test]
+fn release_stale_races_owner_refresh() {
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 40;
+    let seed = stress_seed();
+    let mgr = Arc::new(EpochManager::new(WORKERS + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let slots: Arc<Vec<AtomicU64>> =
+        Arc::new((0..WORKERS).map(|_| AtomicU64::new(u64::MAX)).collect());
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            let mgr = Arc::clone(&mgr);
+            let stop = stop.clone();
+            let slots = Arc::clone(&slots);
+            let mut rng = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            thread::spawn(move || {
+                let g = mgr.register();
+                slots[i].store(g.slot() as u64, Ordering::SeqCst);
+                while !stop.load(Ordering::Relaxed) {
+                    g.refresh();
+                    // Random short "parks" so the reaper catches us stale.
+                    if xorshift(&mut rng).is_multiple_of(13) {
+                        thread::yield_now();
+                    }
+                }
+                // Park forever without dropping: the reaper must be able
+                // to finish the drain without us.
+                std::mem::forget(g);
+            })
+        })
+        .collect();
+
+    // Reaper + bumper on the main thread.
+    let g = mgr.register();
+    let fired = Arc::new(AtomicUsize::new(0));
+    let mut rng = seed;
+    for _ in 0..ROUNDS {
+        let f = fired.clone();
+        g.bump_epoch(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // Randomly stale some worker slots while draining.
+        let mut spins = 0u64;
+        while mgr.pending_actions() > 0 {
+            if xorshift(&mut rng).is_multiple_of(3) {
+                let w = (xorshift(&mut rng) as usize) % WORKERS;
+                let s = slots[w].load(Ordering::SeqCst);
+                if s != u64::MAX {
+                    mgr.release_stale(s as usize);
+                }
+            }
+            g.refresh();
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                thread::yield_now();
+            }
+        }
+        assert!(mgr.safe() < mgr.current());
+    }
+    // Final phase: workers stop refreshing entirely (parked forever); the
+    // reaper alone must still retire a last action by staling them all.
+    stop.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let f = fired.clone();
+    g.bump_epoch(move || {
+        f.fetch_add(1, Ordering::SeqCst);
+    });
+    for s in slots.iter() {
+        mgr.release_stale(s.load(Ordering::SeqCst) as usize);
+    }
+    g.refresh();
+    assert_eq!(fired.load(Ordering::SeqCst), ROUNDS + 1);
+}
+
 /// Heavy mixed load: many bumps from many threads; total fire count is
 /// exact and the safe epoch never exceeds current.
 #[test]

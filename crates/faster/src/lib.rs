@@ -42,7 +42,11 @@ mod io;
 mod recovery;
 mod session;
 mod store;
+mod watchdog;
 
+pub use cpr_core::liveness::{
+    Clock, CommitOutcome, LivenessConfig, SessionStatus, SystemClock, VirtualClock,
+};
 pub use hlog::{HlogConfig, HybridLog};
 pub use index::HashIndex;
 pub use session::{Completion, FasterSession, OpKind, ReadResult, SessionStats, Status};

@@ -12,13 +12,14 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use cpr_core::liveness::{BusyState, Clock, SessionStatus};
 use cpr_core::{Phase, Pod};
 
 use crate::addr::{Address, INVALID_ADDRESS};
 use crate::header::{version13, Header};
 use crate::index::{key_hash, Slot};
 use crate::io::IoRead;
-use crate::store::{value_from_words, value_to_words, StoreInner, VersionGrain};
+use crate::store::{value_from_words, value_to_words, OfflineGuard, StoreInner, VersionGrain};
 
 /// Result of a read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,9 @@ pub enum ReadResult<V> {
     /// Went pending (disk or contention); the result arrives via
     /// [`FasterSession::drain_completions`].
     Pending,
+    /// The liveness watchdog evicted this session (stale lease during a
+    /// commit); the op was not accepted. Retry on a fresh session.
+    Evicted,
 }
 
 /// Result of an update operation.
@@ -35,6 +39,9 @@ pub enum ReadResult<V> {
 pub enum Status {
     Ok,
     Pending,
+    /// The liveness watchdog evicted this session; the op was not
+    /// accepted. Retry on a fresh session.
+    Evicted,
 }
 
 /// Kind of a user operation.
@@ -109,6 +116,13 @@ pub struct FasterSession<V: Pod> {
     durable_serial: u64,
     scratch: Vec<u64>,
     scratch2: Vec<u64>,
+    /// Lease clock, present iff the store runs a liveness watchdog.
+    clock: Option<Arc<dyn Clock>>,
+    /// Cached "this session has been evicted" flag (set once, sticky).
+    evicted: bool,
+    /// Test hook: runs right after the session enters an operation
+    /// (busy = in-txn, before the op touches the log).
+    pause_in_op: Option<Box<dyn FnMut() + Send>>,
     pub stats: SessionStats,
 }
 
@@ -117,7 +131,17 @@ impl<V: Pod> FasterSession<V> {
         let (phase, version) = store.state.load();
         let slot_idx = store.registry.acquire(guid, phase, version);
         store.registry.set_serial(slot_idx, start_serial);
-        let guard = store.epoch.register();
+        let mut guard = store.epoch.register();
+        let clock = store.liveness.as_ref().map(|l| Arc::clone(&l.clock));
+        if let Some(c) = &clock {
+            // Publish the epoch slot so the watchdog can reclaim it, stamp
+            // the lease, arm the thread-exit sentinel, and clear any
+            // offline-pending leftovers from a prior tenant of this slot.
+            store.registry.set_epoch_slot(slot_idx, guard.slot());
+            store.registry.heartbeat(slot_idx, c.now());
+            guard.arm_exit_sentinel();
+            store.offline_pending.lock().remove(&slot_idx);
+        }
         FasterSession {
             store,
             guard,
@@ -133,8 +157,25 @@ impl<V: Pod> FasterSession<V> {
             durable_serial: start_serial,
             scratch: Vec::new(),
             scratch2: Vec::new(),
+            clock,
+            evicted: false,
+            pause_in_op: None,
             stats: SessionStats::default(),
         }
+    }
+
+    /// Test hook: invoked after entering an operation, before the log is
+    /// touched.
+    #[doc(hidden)]
+    pub fn set_pause_in_op(&mut self, f: impl FnMut() + Send + 'static) {
+        self.pause_in_op = Some(Box::new(f));
+    }
+
+    /// True once the watchdog has evicted this session.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+            || (self.clock.is_some()
+                && self.store.registry.status(self.slot_idx) == SessionStatus::Evicted)
     }
 
     pub fn guid(&self) -> u64 {
@@ -182,6 +223,16 @@ impl<V: Pod> FasterSession<V> {
     pub fn refresh(&mut self) {
         self.guard.refresh();
         self.ops_since_refresh = 0;
+        if let Some(c) = &self.clock {
+            // Lease renewal: one relaxed store (plus one relaxed probe of
+            // the sticky eviction flag) — the whole hot-path liveness cost.
+            self.store.registry.heartbeat(self.slot_idx, c.now());
+            if self.evicted || self.store.registry.is_evicted(self.slot_idx) {
+                self.evicted = true;
+                self.drop_cancelled_pendings();
+                return;
+            }
+        }
         let (gp, gv) = self.store.state.load();
         if (gp, gv) != (self.phase, self.version) {
             // Entering prepare: protect pre-existing pending requests so
@@ -213,10 +264,26 @@ impl<V: Pod> FasterSession<V> {
         if self.pending.is_empty() {
             return 0;
         }
+        let live = self.clock.is_some();
+        if live && (self.evicted || self.store.registry.is_evicted(self.slot_idx)) {
+            self.evicted = true;
+            self.drop_cancelled_pendings();
+            return 0;
+        }
         let mut ops = std::mem::take(&mut self.pending);
         let mut completed = 0;
         let mut i = 0;
         while i < ops.len() {
+            // Pending retries apply writes: re-check ownership before each
+            // one so an evicted session stops growing the database. A
+            // merely-suspended session reactivates itself and proceeds.
+            if live && self.store.registry.status(self.slot_idx) != SessionStatus::Active {
+                if self.store.registry.await_reactivate(self.slot_idx) {
+                    continue;
+                }
+                self.evicted = true;
+                break;
+            }
             let op = &mut ops[i];
             let io_data: Option<(Address, Vec<u8>)> = match &op.io {
                 Some(io) if io.handle.is_done() => {
@@ -269,25 +336,74 @@ impl<V: Pod> FasterSession<V> {
         }
         debug_assert!(self.pending.is_empty());
         self.pending = ops;
+        if self.evicted {
+            self.drop_cancelled_pendings();
+        }
         self.stats.completed_pending += completed as u64;
         completed
     }
 
     fn finish_pending(&mut self, op: &mut Pending<V>, value: Option<V>) {
-        if let Some(b) = op.latch.take() {
-            self.store.latches[b].release_shared();
-        }
-        if op.guarded {
-            self.store.pending_v_keys.lock().remove(&op.key);
+        if self.clock.is_some() {
+            // The offline-pending entry is the ownership token for this
+            // op's protections: remove it and release per the *entry* (the
+            // watchdog may hold a fresher view of the latches than the
+            // local op after an eviction race).
+            let owned = {
+                let mut map = self.store.offline_pending.lock();
+                map.get_mut(&self.slot_idx).and_then(|gs| {
+                    gs.iter()
+                        .position(|g| g.serial == op.serial)
+                        .map(|i| gs.swap_remove(i))
+                })
+            };
+            op.latch = None;
             op.guarded = false;
+            let Some(g) = owned else {
+                // Cancelled by the watchdog: protections already released,
+                // the session is evicted, the result is dropped.
+                self.evicted = true;
+                return;
+            };
+            if let Some(b) = g.latch {
+                self.store.latches[b].release_shared();
+            }
+            if let Some(k) = g.guarded_key {
+                self.store.pending_v_keys.lock().remove(&k);
+            }
+            self.store.pending_count[(g.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
+        } else {
+            if let Some(b) = op.latch.take() {
+                self.store.latches[b].release_shared();
+            }
+            if op.guarded {
+                self.store.pending_v_keys.lock().remove(&op.key);
+                op.guarded = false;
+            }
+            self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
         }
-        self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
         self.completions.push(Completion {
             serial: op.serial,
             kind: op.kind,
             key: op.key,
             value,
         });
+    }
+
+    /// Drop local pending ops whose offline entry is gone (cancelled by
+    /// the watchdog at eviction): their protections are already released
+    /// and their counts already decremented — just forget them.
+    fn drop_cancelled_pendings(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let live: Vec<u64> = {
+            let map = self.store.offline_pending.lock();
+            map.get(&self.slot_idx)
+                .map(|gs| gs.iter().map(|g| g.serial).collect())
+                .unwrap_or_default()
+        };
+        self.pending.retain(|op| live.contains(&op.serial));
     }
 
     /// Fine grain: take shared latches (coarse: register key guards) for
@@ -317,6 +433,33 @@ impl<V: Pod> FasterSession<V> {
                 }
             }
         }
+        if self.clock.is_some() {
+            // Mirror the newly-taken protections so a later watchdog
+            // cancellation releases them. The lease was stamped at the top
+            // of this refresh, so the watchdog cannot act on this session
+            // between the acquisition above and the mirror landing here.
+            let mut map = self.store.offline_pending.lock();
+            if let Some(gs) = map.get_mut(&self.slot_idx) {
+                for op in &self.pending {
+                    if let Some(g) = gs.iter_mut().find(|g| g.serial == op.serial) {
+                        g.latch = op.latch;
+                        g.guarded_key = op.guarded.then_some(op.key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publish a busy-state change iff the liveness watchdog is running.
+    /// `Locking` marks the short exclusive-latch windows of the version
+    /// hand-off: the watchdog must never evict a session there (it could
+    /// be mid-append under the latch) — its only remedy is a checkpoint
+    /// abort.
+    #[inline]
+    fn set_busy_live(&self, b: BusyState) {
+        if self.clock.is_some() {
+            self.store.registry.set_busy(self.slot_idx, b);
+        }
     }
 
     #[inline]
@@ -338,47 +481,115 @@ impl<V: Pod> FasterSession<V> {
 
     // ---- public operations ------------------------------------------------
 
+    /// Dekker-style entry protocol against the watchdog: publish
+    /// `busy = InTxn` (SeqCst), then load status (SeqCst). If the status
+    /// read observes `Active`, the watchdog's suspend CAS had not happened
+    /// before that read in the SeqCst total order, so no eviction (which
+    /// requires a *prior* successful suspend plus a later scan) can be in
+    /// flight — accepting the op is safe. Returns `false` once evicted.
+    fn begin_op(&mut self) -> bool {
+        loop {
+            if self.evicted {
+                return false;
+            }
+            self.store.registry.set_busy(self.slot_idx, BusyState::InTxn);
+            match self.store.registry.status(self.slot_idx) {
+                SessionStatus::Active => return true,
+                _ => {
+                    self.store.registry.set_busy(self.slot_idx, BusyState::Idle);
+                    if self.store.registry.await_reactivate(self.slot_idx) {
+                        self.refresh();
+                    } else {
+                        self.evicted = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn enter_op(&mut self) -> bool {
+        if self.clock.is_none() {
+            return true;
+        }
+        if !self.begin_op() {
+            return false;
+        }
+        if let Some(mut f) = self.pause_in_op.take() {
+            f();
+            self.pause_in_op = Some(f);
+        }
+        true
+    }
+
+    #[inline]
+    fn exit_op(&mut self) {
+        if self.clock.is_some() {
+            self.store.registry.set_busy(self.slot_idx, BusyState::Idle);
+        }
+    }
+
     pub fn read(&mut self, key: u64) -> ReadResult<V> {
         self.maybe_refresh();
+        if !self.enter_op() {
+            return ReadResult::Evicted;
+        }
         self.serial += 1;
         self.stats.reads += 1;
-        match self.drive(OpKind::Read, key, None) {
+        let out = match self.drive(OpKind::Read, key, None) {
             DriveResult::Done(Some(v)) => ReadResult::Found(v),
             DriveResult::Done(None) => ReadResult::NotFound,
             DriveResult::Pending => ReadResult::Pending,
-        }
+        };
+        self.exit_op();
+        out
     }
 
     pub fn upsert(&mut self, key: u64, value: V) -> Status {
         self.maybe_refresh();
+        if !self.enter_op() {
+            return Status::Evicted;
+        }
         self.serial += 1;
         self.stats.upserts += 1;
-        match self.drive(OpKind::Upsert, key, Some(value)) {
+        let out = match self.drive(OpKind::Upsert, key, Some(value)) {
             DriveResult::Done(_) => Status::Ok,
             DriveResult::Pending => Status::Pending,
-        }
+        };
+        self.exit_op();
+        out
     }
 
     /// Read-modify-write: `new = rmw(old, input)`; a missing key is
     /// initialized to `input`.
     pub fn rmw(&mut self, key: u64, input: V) -> Status {
         self.maybe_refresh();
+        if !self.enter_op() {
+            return Status::Evicted;
+        }
         self.serial += 1;
         self.stats.rmws += 1;
-        match self.drive(OpKind::Rmw, key, Some(input)) {
+        let out = match self.drive(OpKind::Rmw, key, Some(input)) {
             DriveResult::Done(_) => Status::Ok,
             DriveResult::Pending => Status::Pending,
-        }
+        };
+        self.exit_op();
+        out
     }
 
     pub fn delete(&mut self, key: u64) -> Status {
         self.maybe_refresh();
+        if !self.enter_op() {
+            return Status::Evicted;
+        }
         self.serial += 1;
         self.stats.deletes += 1;
-        match self.drive(OpKind::Delete, key, None) {
+        let out = match self.drive(OpKind::Delete, key, None) {
             DriveResult::Done(_) => Status::Ok,
             DriveResult::Pending => Status::Pending,
-        }
+        };
+        self.exit_op();
+        out
     }
 
     // ---- op driver ----------------------------------------------------------
@@ -433,6 +644,20 @@ impl<V: Pod> FasterSession<V> {
                         self.store.pending_v_keys.lock().insert(key);
                     }
                     self.store.pending_count[(tag & 1) as usize].fetch_add(1, Ordering::AcqRel);
+                    if self.clock.is_some() {
+                        // Mirror the op's protections for the watchdog.
+                        self.store
+                            .offline_pending
+                            .lock()
+                            .entry(self.slot_idx)
+                            .or_default()
+                            .push(OfflineGuard {
+                                serial: self.serial,
+                                tag,
+                                latch: keep_latch,
+                                guarded_key: guarded.then_some(key),
+                            });
+                    }
                     let (io_addr, io) = match io {
                         Some((a, r)) => (a, Some(r)),
                         None => (INVALID_ADDRESS, None),
@@ -611,14 +836,17 @@ impl<V: Pod> FasterSession<V> {
                 let b = store.index.bucket_index(key_hash(key));
                 match self.phase {
                     Phase::InProgress => {
-                        if store.latches[b].try_exclusive() {
+                        self.set_busy_live(BusyState::Locking);
+                        let out = if store.latches[b].try_exclusive() {
                             let out =
                                 self.append_record(slot, entry, key, kind, input, Some(raddr), tag);
                             store.latches[b].release_exclusive();
                             out
                         } else {
                             Outcome::Pend(None)
-                        }
+                        };
+                        self.set_busy_live(BusyState::InTxn);
+                        out
                     }
                     Phase::WaitPending => {
                         if store.latches[b].shared_count() == 0 {
@@ -753,20 +981,20 @@ impl<V: Pod> FasterSession<V> {
             match store.grain {
                 VersionGrain::Fine => {
                     let b = store.index.bucket_index(key_hash(key));
-                    let allowed = match self.phase {
-                        Phase::InProgress => store.latches[b].try_exclusive(),
-                        Phase::WaitPending => store.latches[b].shared_count() == 0,
-                        _ => true,
-                    };
                     if self.phase == Phase::InProgress {
-                        if !allowed {
-                            return Outcome::Pend(None);
-                        }
-                        let out = self.append_base_inner(slot, entry, key, kind, input, base, tag);
-                        store.latches[b].release_exclusive();
+                        self.set_busy_live(BusyState::Locking);
+                        let out = if store.latches[b].try_exclusive() {
+                            let out =
+                                self.append_base_inner(slot, entry, key, kind, input, base, tag);
+                            store.latches[b].release_exclusive();
+                            out
+                        } else {
+                            Outcome::Pend(None)
+                        };
+                        self.set_busy_live(BusyState::InTxn);
                         return out;
                     }
-                    if !allowed {
+                    if self.phase == Phase::WaitPending && store.latches[b].shared_count() != 0 {
                         return Outcome::Pend(None);
                     }
                 }
@@ -847,9 +1075,11 @@ enum DriveResult<V> {
 
 impl<V: Pod> Drop for FasterSession<V> {
     fn drop(&mut self) {
-        // Drain pendings so an in-flight commit is not stranded.
+        // Drain pendings so an in-flight commit is not stranded. An
+        // evicted session skips the drain: its pendings were cancelled by
+        // the watchdog and `refresh` clears them on the first pass.
         for _ in 0..10_000 {
-            if self.pending.is_empty() {
+            if self.pending.is_empty() || self.evicted {
                 break;
             }
             self.refresh();
@@ -857,16 +1087,31 @@ impl<V: Pod> Drop for FasterSession<V> {
                 std::thread::sleep(std::time::Duration::from_micros(100));
             }
         }
-        // Force-release anything still stuck (abandoned ops).
+        // Force-release anything still stuck (abandoned ops). With the
+        // watchdog on, the offline map arbitrates: only protections whose
+        // entry is still present are ours to release.
         let ops = std::mem::take(&mut self.pending);
-        for op in ops {
-            if let Some(b) = op.latch {
-                self.store.latches[b].release_shared();
+        if self.clock.is_some() {
+            let entries = self.store.offline_pending.lock().remove(&self.slot_idx);
+            for g in entries.unwrap_or_default() {
+                if let Some(b) = g.latch {
+                    self.store.latches[b].release_shared();
+                }
+                if let Some(k) = g.guarded_key {
+                    self.store.pending_v_keys.lock().remove(&k);
+                }
+                self.store.pending_count[(g.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
             }
-            if op.guarded {
-                self.store.pending_v_keys.lock().remove(&op.key);
+        } else {
+            for op in ops {
+                if let Some(b) = op.latch {
+                    self.store.latches[b].release_shared();
+                }
+                if op.guarded {
+                    self.store.pending_v_keys.lock().remove(&op.key);
+                }
+                self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
             }
-            self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
         }
         self.store.registry.release(self.slot_idx);
     }

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cpr_core::liveness::{CommitOutcome, LivenessConfig};
 use cpr_core::{CheckpointManifest, NoWaitLock, Phase, Pod, SessionRegistry, SystemState};
 use cpr_epoch::EpochManager;
 use cpr_storage::{CheckpointStore, Device, FaultDevice, FaultInjector, FileDevice};
@@ -59,6 +60,9 @@ pub struct FasterOptions<V: Pod> {
     /// log device and the checkpoint store so every durable write draws
     /// from one scriptable fault schedule.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Optional session liveness watchdog: lease-based straggler
+    /// detection, checkpoint abort + backoff, dead-session reclamation.
+    pub liveness: Option<LivenessConfig>,
 }
 
 impl FasterOptions<u64> {
@@ -74,6 +78,7 @@ impl FasterOptions<u64> {
             io_threads: 2,
             rmw: |old, input| old.wrapping_add(input),
             fault: None,
+            liveness: None,
         }
     }
 }
@@ -99,6 +104,10 @@ impl<V: Pod> FasterOptions<V> {
         self.fault = Some(injector);
         self
     }
+    pub fn with_liveness(mut self, cfg: LivenessConfig) -> Self {
+        self.liveness = Some(cfg);
+        self
+    }
 }
 
 /// Commit observer: `(committed version, per-session CPR points)`.
@@ -112,6 +121,21 @@ pub(crate) struct CkptCtx {
     pub lhs: u64,
     pub started: Instant,
     pub phase_marks: Vec<(Phase, Duration)>,
+}
+
+/// Mirror of the protections held by one pending operation, kept in a
+/// shared registry (`StoreInner::offline_pending`) so the liveness
+/// watchdog can cancel a dead session's pendings: release its shared
+/// bucket latches and key guards and decrement the pending counters that
+/// gate wait-pending → wait-flush. The map entry is the *ownership token*
+/// for those releases — whoever removes it (owner on completion, watchdog
+/// on eviction) performs them, so they can never happen twice.
+pub(crate) struct OfflineGuard {
+    pub serial: u64,
+    /// Version the op was accepted under (indexes `pending_count`).
+    pub tag: u64,
+    pub latch: Option<usize>,
+    pub guarded_key: Option<u64>,
 }
 
 pub(crate) struct StoreInner<V: Pod> {
@@ -135,6 +159,14 @@ pub(crate) struct StoreInner<V: Pod> {
     pub(crate) ckpt: Mutex<Option<CkptCtx>>,
     ckpt_tx: Mutex<Option<crossbeam::channel::Sender<u64>>>,
     ckpt_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Liveness configuration (None = no watchdog, zero overhead).
+    pub(crate) liveness: Option<LivenessConfig>,
+    /// Per-session-slot mirror of pending-op protections (see
+    /// [`OfflineGuard`]). Populated only when liveness is on.
+    pub(crate) offline_pending: Mutex<HashMap<usize, Vec<OfflineGuard>>>,
+    /// Book-keeping for the in-flight (or most recent) commit attempt.
+    pub(crate) outcome: Mutex<CommitOutcome>,
+    watchdog_thread: Mutex<Option<JoinHandle<()>>>,
     pub(crate) recovered_sessions: HashMap<u64, u64>,
     /// Checkpoints that failed on I/O and were aborted (no manifest).
     pub(crate) checkpoint_failures: AtomicU64,
@@ -218,6 +250,10 @@ impl<V: Pod> FasterKv<V> {
             ckpt: Mutex::new(None),
             ckpt_tx: Mutex::new(None),
             ckpt_thread: Mutex::new(None),
+            liveness: opts.liveness.clone(),
+            offline_pending: Mutex::new(HashMap::new()),
+            outcome: Mutex::new(CommitOutcome::default()),
+            watchdog_thread: Mutex::new(None),
             recovered_sessions: sessions,
             checkpoint_failures: AtomicU64::new(0),
             last_phase_marks: Mutex::new(Vec::new()),
@@ -243,6 +279,14 @@ impl<V: Pod> FasterKv<V> {
             .expect("spawn checkpoint thread");
         *inner.ckpt_tx.lock() = Some(tx);
         *inner.ckpt_thread.lock() = Some(handle);
+        if let Some(cfg) = inner.liveness.clone() {
+            let weak = Arc::downgrade(&inner);
+            let handle = std::thread::Builder::new()
+                .name("cpr-faster-watchdog".into())
+                .spawn(move || crate::watchdog::run(weak, cfg))
+                .expect("spawn watchdog thread");
+            *inner.watchdog_thread.lock() = Some(handle);
+        }
         Ok(FasterKv { inner })
     }
 
@@ -272,45 +316,13 @@ impl<V: Pod> FasterKv<V> {
     /// checkpoint (paper Sec. 6.3: the index can be checkpointed far less
     /// frequently).
     pub fn request_checkpoint(&self, variant: CheckpointVariant, log_only: bool) -> bool {
-        let inner = &self.inner;
-        let v = inner.state.version();
-        if !inner
-            .state
-            .transition((Phase::Rest, v), (Phase::Prepare, v))
-        {
+        if !start_checkpoint(&self.inner, variant, log_only) {
             return false;
         }
-        let token = match inner.store.begin() {
-            Ok(t) => t,
-            Err(_) => {
-                // Can't even create the checkpoint directory (e.g. the
-                // simulated device crashed): roll back to rest at the same
-                // version and report the failure.
-                let ok = inner
-                    .state
-                    .transition((Phase::Prepare, v), (Phase::Rest, v));
-                debug_assert!(ok, "prepare rollback must succeed");
-                inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
-                return false;
-            }
+        *self.inner.outcome.lock() = CommitOutcome {
+            attempts: 1,
+            ..CommitOutcome::default()
         };
-        *inner.ckpt.lock() = Some(CkptCtx {
-            token,
-            variant,
-            log_only,
-            lhs: inner.hlog.tail(),
-            started: Instant::now(),
-            phase_marks: vec![(Phase::Prepare, Duration::ZERO)],
-        });
-
-        let i1 = Arc::clone(inner);
-        let i2 = Arc::clone(inner);
-        inner.epoch.bump_epoch(
-            Some(Box::new(move || {
-                i1.registry.all_at_least(Phase::Prepare, v)
-            })),
-            Box::new(move || prepare_to_inprog(i2, v)),
-        );
         true
     }
 
@@ -338,6 +350,12 @@ impl<V: Pod> FasterKv<V> {
     /// (no manifest committed; sessions returned to rest).
     pub fn checkpoint_failures(&self) -> u64 {
         self.inner.checkpoint_failures.load(Ordering::Acquire)
+    }
+
+    /// Watchdog book-keeping for the in-flight (or most recent) commit:
+    /// attempts, proxy-advanced and evicted sessions, aborts.
+    pub fn last_commit_outcome(&self) -> CommitOutcome {
+        self.inner.outcome.lock().clone()
     }
 
     /// Current (phase, version) of the commit state machine.
@@ -383,11 +401,64 @@ impl<V: Pod> FasterKv<V> {
     }
 }
 
-fn prepare_to_inprog<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
-    let ok = inner
+/// Begin a CPR commit: `rest → prepare` plus the epoch trigger chain.
+/// Shared by [`FasterKv::request_checkpoint`] and the watchdog's
+/// backed-off retries (which must re-begin a fresh store token).
+pub(crate) fn start_checkpoint<V: Pod>(
+    inner: &Arc<StoreInner<V>>,
+    variant: CheckpointVariant,
+    log_only: bool,
+) -> bool {
+    let v = inner.state.version();
+    if !inner
         .state
-        .transition((Phase::Prepare, v), (Phase::InProgress, v));
-    debug_assert!(ok, "faster state machine out of sync (prepare)");
+        .transition((Phase::Rest, v), (Phase::Prepare, v))
+    {
+        return false;
+    }
+    let token = match inner.store.begin() {
+        Ok(t) => t,
+        Err(_) => {
+            // Can't even create the checkpoint directory (e.g. the
+            // simulated device crashed): roll back to rest at the same
+            // version and report the failure.
+            let ok = inner
+                .state
+                .transition((Phase::Prepare, v), (Phase::Rest, v));
+            debug_assert!(ok, "prepare rollback must succeed");
+            inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
+            return false;
+        }
+    };
+    *inner.ckpt.lock() = Some(CkptCtx {
+        token,
+        variant,
+        log_only,
+        lhs: inner.hlog.tail(),
+        started: Instant::now(),
+        phase_marks: vec![(Phase::Prepare, Duration::ZERO)],
+    });
+
+    let i1 = Arc::clone(inner);
+    let i2 = Arc::clone(inner);
+    inner.epoch.bump_epoch(
+        Some(Box::new(move || {
+            i1.registry.all_at_least(Phase::Prepare, v)
+        })),
+        Box::new(move || prepare_to_inprog(i2, v)),
+    );
+    true
+}
+
+fn prepare_to_inprog<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
+    // A failed transition means the watchdog timed this attempt out and
+    // returned the machine to rest; the stale trigger is simply dropped.
+    if !inner
+        .state
+        .transition((Phase::Prepare, v), (Phase::InProgress, v))
+    {
+        return;
+    }
     mark_phase(&inner, Phase::InProgress);
     let epoch = Arc::clone(&inner.epoch);
     let i1 = Arc::clone(&inner);
@@ -401,10 +472,12 @@ fn prepare_to_inprog<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
 }
 
 fn inprog_to_waitpending<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
-    let ok = inner
+    if !inner
         .state
-        .transition((Phase::InProgress, v), (Phase::WaitPending, v));
-    debug_assert!(ok, "faster state machine out of sync (in-progress)");
+        .transition((Phase::InProgress, v), (Phase::WaitPending, v))
+    {
+        return; // aborted by the watchdog
+    }
     mark_phase(&inner, Phase::WaitPending);
     let epoch = Arc::clone(&inner.epoch);
     let i1 = Arc::clone(&inner);
@@ -419,10 +492,12 @@ fn inprog_to_waitpending<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
 }
 
 fn waitpending_to_waitflush<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
-    let ok = inner
+    if !inner
         .state
-        .transition((Phase::WaitPending, v), (Phase::WaitFlush, v));
-    debug_assert!(ok, "faster state machine out of sync (wait-pending)");
+        .transition((Phase::WaitPending, v), (Phase::WaitFlush, v))
+    {
+        return; // aborted by the watchdog
+    }
     mark_phase(&inner, Phase::WaitFlush);
     if let Some(tx) = inner.ckpt_tx.lock().as_ref() {
         tx.send(v).expect("checkpoint thread alive");
@@ -438,11 +513,13 @@ pub(crate) fn mark_phase<V: Pod>(inner: &StoreInner<V>, phase: Phase) {
 impl<V: Pod> Drop for StoreInner<V> {
     fn drop(&mut self) {
         self.ckpt_tx.lock().take();
-        if let Some(h) = self.ckpt_thread.lock().take() {
-            // The final Arc may be dropped *by the worker itself* (it
-            // upgrades its Weak per job); never join our own thread.
-            if h.thread().id() != std::thread::current().id() {
-                let _ = h.join();
+        for slot in [&self.ckpt_thread, &self.watchdog_thread] {
+            if let Some(h) = slot.lock().take() {
+                // The final Arc may be dropped *by the worker itself* (it
+                // upgrades its Weak per job); never join our own thread.
+                if h.thread().id() != std::thread::current().id() {
+                    let _ = h.join();
+                }
             }
         }
     }

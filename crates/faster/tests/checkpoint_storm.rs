@@ -132,6 +132,7 @@ fn storm(grain: VersionGrain) {
             }
         }
         ReadResult::NotFound => panic!("post-recovery write lost"),
+        ReadResult::Evicted => panic!("session evicted"),
     }
 }
 

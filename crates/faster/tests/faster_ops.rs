@@ -89,6 +89,7 @@ fn updates_in_readonly_region_copy_to_tail() {
             panic!("pending read never completed");
         }
         ReadResult::NotFound => panic!("key 0 lost"),
+        ReadResult::Evicted => panic!("session evicted"),
     }
 }
 
@@ -113,6 +114,7 @@ fn disk_resident_reads_complete_via_pending_path() {
             ReadResult::Found(v) => assert_eq!(v, k + 1),
             ReadResult::NotFound => panic!("key {k} lost"),
             ReadResult::Pending => pending_keys.push(k),
+            ReadResult::Evicted => panic!("session evicted"),
         }
     }
     assert!(

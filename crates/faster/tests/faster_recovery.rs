@@ -26,6 +26,7 @@ fn read_now(s: &mut cpr_faster::FasterSession<u64>, key: u64) -> Option<u64> {
     match s.read(key) {
         ReadResult::Found(v) => Some(v),
         ReadResult::NotFound => None,
+        ReadResult::Evicted => panic!("session evicted"),
         ReadResult::Pending => {
             let mut out = Vec::new();
             for _ in 0..2000 {

@@ -32,6 +32,9 @@ const FLAG_TOMBSTONE: u64 = 1;
 /// worker thread).
 pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
     let started = std::time::Instant::now();
+    // Drop any abort request left over from a race with the previous
+    // capture's completion; the watchdog re-raises if it still wants one.
+    inner.capture_abort.store(false, Ordering::Release);
     let committed = try_capture(inner, v);
     if committed.is_none() {
         inner.checkpoint_failures.fetch_add(1, Ordering::AcqRel);
@@ -70,12 +73,21 @@ fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<u64> {
         Vec::with_capacity(inner.table.len() * (16 + std::mem::size_of::<V>()) + 8);
     buf.extend_from_slice(&0u64.to_le_bytes()); // count patched below
     let mut count = 0u64;
+    let mut aborted = false;
     inner.table.for_each(|key, rec| {
-        // Spin for a shared latch; all lock holders are try-lock based, so
-        // this cannot deadlock.
+        if aborted {
+            return;
+        }
+        // Spin for a shared latch; lock holders are try-lock based, so
+        // this cannot deadlock — but a *parked* lock holder stalls it
+        // indefinitely, which is why the watchdog can abort the pass.
         loop {
             if rec.lock.try_shared() {
                 break;
+            }
+            if inner.capture_abort.load(Ordering::Acquire) {
+                aborted = true;
+                return;
             }
             std::hint::spin_loop();
         }
@@ -105,6 +117,10 @@ fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<u64> {
         cpr_core::pod_write(&value, &mut buf);
         count += 1;
     });
+    if aborted || inner.capture_abort.swap(false, Ordering::AcqRel) {
+        let _ = store.abort(token);
+        return None;
+    }
     buf[..8].copy_from_slice(&count.to_le_bytes());
 
     let result = (|| -> io::Result<()> {

@@ -11,6 +11,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
+use cpr_core::liveness::{BusyState, Clock, SessionStatus};
 use cpr_core::Phase;
 
 use crate::db::{DbInner, Durability};
@@ -58,6 +59,15 @@ pub struct Session<V: DbValue> {
     /// CPR points awaiting durability: (db version, serial at point).
     pending_points: VecDeque<(u64, u64)>,
     durable_serial: u64,
+    /// Lease clock, present iff the database runs a liveness watchdog.
+    clock: Option<Arc<dyn Clock>>,
+    /// Cached "this session has been evicted" flag (set once, sticky).
+    evicted: bool,
+    /// Test hook: runs right after the session enters a transaction
+    /// (busy = in-txn, before lock acquisition).
+    pause_in_txn: Option<Box<dyn FnMut() + Send>>,
+    /// Test hook: runs while the transaction's 2PL locks are held.
+    pause_locked: Option<Box<dyn FnMut() + Send>>,
     pub stats: ClientStats,
 }
 
@@ -65,7 +75,16 @@ impl<V: DbValue> Session<V> {
     pub(crate) fn new(db: Arc<DbInner<V>>, guid: u64) -> Self {
         let (phase, version) = db.state.load();
         let slot = db.registry.acquire(guid, phase, version);
-        let guard = db.epoch.register();
+        let mut guard = db.epoch.register();
+        let clock = db.opts.liveness.as_ref().map(|l| Arc::clone(&l.clock));
+        if let Some(c) = &clock {
+            // Publish the epoch slot so the watchdog can reclaim it, stamp
+            // the lease, and arm the thread-exit sentinel so a dying
+            // client thread frees its epoch slot.
+            db.registry.set_epoch_slot(slot, guard.slot());
+            db.registry.heartbeat(slot, c.now());
+            guard.arm_exit_sentinel();
+        }
         Session {
             db,
             guard,
@@ -77,8 +96,34 @@ impl<V: DbValue> Session<V> {
             ops_since_refresh: 0,
             pending_points: VecDeque::new(),
             durable_serial: 0,
+            clock,
+            evicted: false,
+            pause_in_txn: None,
+            pause_locked: None,
             stats: ClientStats::default(),
         }
+    }
+
+    /// Install a hook that runs at the start of every transaction, after
+    /// the session is marked busy but before locks are taken. Test-only:
+    /// lets liveness tests park a thread mid-transaction.
+    #[doc(hidden)]
+    pub fn set_pause_in_txn(&mut self, f: impl FnMut() + Send + 'static) {
+        self.pause_in_txn = Some(Box::new(f));
+    }
+
+    /// Install a hook that runs while a transaction's locks are held.
+    /// Test-only: lets liveness tests park a stalled lock holder.
+    #[doc(hidden)]
+    pub fn set_pause_locked(&mut self, f: impl FnMut() + Send + 'static) {
+        self.pause_locked = Some(Box::new(f));
+    }
+
+    /// True once the watchdog has evicted this session.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+            || (self.clock.is_some()
+                && self.db.registry.status(self.slot) == SessionStatus::Evicted)
     }
 
     pub fn guid(&self) -> u64 {
@@ -100,6 +145,15 @@ impl<V: DbValue> Session<V> {
     pub fn refresh(&mut self) {
         self.guard.refresh();
         self.ops_since_refresh = 0;
+        if let Some(c) = &self.clock {
+            // Lease renewal: one relaxed store (plus one relaxed probe of
+            // the sticky eviction flag) — the whole hot-path liveness cost.
+            self.db.registry.heartbeat(self.slot, c.now());
+            if self.evicted || self.db.registry.is_evicted(self.slot) {
+                self.evicted = true;
+                return;
+            }
+        }
         let (gp, gv) = self.db.state.load();
         if (gp, gv) == (self.phase, self.version) {
             return;
@@ -155,6 +209,13 @@ impl<V: DbValue> Session<V> {
         if self.ops_since_refresh >= self.db.opts.refresh_every {
             self.refresh();
         }
+        if self.clock.is_some() {
+            self.begin_op()?;
+        }
+        if let Some(mut f) = self.pause_in_txn.take() {
+            f();
+            self.pause_in_txn = Some(f);
+        }
         let profile = self.db.opts.profile;
         let t0 = profile.then(Instant::now);
 
@@ -162,6 +223,9 @@ impl<V: DbValue> Session<V> {
             Durability::Wal => self.exec_wal(txn, reads, profile),
             _ => self.exec_versioned(txn, reads),
         };
+        if self.clock.is_some() {
+            self.db.registry.set_busy(self.slot, BusyState::Idle);
+        }
 
         match result {
             Ok(()) => {
@@ -178,6 +242,7 @@ impl<V: DbValue> Session<V> {
                 match a {
                     Abort::Conflict => self.stats.aborts_conflict += 1,
                     Abort::CprShift => self.stats.aborts_cpr += 1,
+                    Abort::SessionEvicted => self.stats.aborts_evicted += 1,
                 }
                 if let Some(t0) = t0 {
                     let _ = self.stats.take_pending_side_ns();
@@ -193,6 +258,34 @@ impl<V: DbValue> Session<V> {
         }
     }
 
+    /// Enter the busy window (Dekker: SeqCst busy store, then SeqCst
+    /// status load — pairs with the watchdog's suspend/evict CASes). A
+    /// suspended session waits out any in-flight proxy publish, adopts the
+    /// state published on its behalf, and retries; an evicted one fails
+    /// fast with a sticky error.
+    fn begin_op(&mut self) -> Result<(), Abort> {
+        loop {
+            if self.evicted {
+                return Err(Abort::SessionEvicted);
+            }
+            self.db.registry.set_busy(self.slot, BusyState::InTxn);
+            match self.db.registry.status(self.slot) {
+                SessionStatus::Active => return Ok(()),
+                _ => {
+                    // The watchdog intervened while we were idle: step back
+                    // out, wait for the hand-off to finish, refresh to at
+                    // least whatever it published for us, and try again.
+                    self.db.registry.set_busy(self.slot, BusyState::Idle);
+                    if self.db.registry.await_reactivate(self.slot) {
+                        self.refresh();
+                    } else {
+                        self.evicted = true;
+                    }
+                }
+            }
+        }
+    }
+
     /// Executor for CPR / CALC / no-durability modes (paper Alg. 1).
     fn exec_versioned(&mut self, txn: &TxnRequest<'_>, reads: &mut Vec<V>) -> Result<(), Abort> {
         let table = &self.db.table;
@@ -200,6 +293,13 @@ impl<V: DbValue> Session<V> {
         let phase = self.phase;
         // The version new records/writes belong to.
         let txn_version = if phase >= Phase::InProgress { v + 1 } else { v };
+
+        if self.clock.is_some() {
+            // From here we acquire (and then hold) 2PL locks: the watchdog
+            // must not evict us — its only remedy for a straggler in this
+            // window is aborting the checkpoint and backing off.
+            self.db.registry.set_busy(self.slot, BusyState::Locking);
+        }
 
         // Acquire phase: lock the full read-write set (No-Wait).
         let mut locked: Vec<(&Record<V>, bool)> = Vec::with_capacity(txn.accesses.len());
@@ -253,6 +353,37 @@ impl<V: DbValue> Session<V> {
         if let Some(abort) = fail {
             release_all(&locked);
             return Err(abort);
+        }
+
+        if self.clock.is_some() {
+            if let Some(mut f) = self.pause_locked.take() {
+                f();
+                self.pause_locked = Some(f);
+            }
+            // All locks held; re-check ownership before applying a single
+            // write. If the watchdog suspended (or evicted) this session
+            // while it straggled through acquisition, its view may be
+            // stale and its CPR point may have been proxy-published —
+            // applying now could grow the committed prefix inconsistently.
+            // Shifts done above are safe: they are idempotent maintenance
+            // any session at this view would perform.
+            match self.db.registry.status(self.slot) {
+                SessionStatus::Active => {}
+                SessionStatus::Evicted => {
+                    release_all(&locked);
+                    self.evicted = true;
+                    return Err(Abort::SessionEvicted);
+                }
+                _ => {
+                    release_all(&locked);
+                    if self.db.registry.await_reactivate(self.slot) {
+                        self.refresh();
+                        return Err(Abort::Conflict);
+                    }
+                    self.evicted = true;
+                    return Err(Abort::SessionEvicted);
+                }
+            }
         }
 
         // Execute phase: all locks held.
@@ -320,6 +451,9 @@ impl<V: DbValue> Session<V> {
         profile: bool,
     ) -> Result<(), Abort> {
         let table = &self.db.table;
+        if self.clock.is_some() {
+            self.db.registry.set_busy(self.slot, BusyState::Locking);
+        }
         let mut locked: Vec<(&Record<V>, bool)> = Vec::with_capacity(txn.accesses.len());
         for &(key, access) in txn.accesses {
             let (rec, _) = table.get_or_insert(key, 1, V::from_seed(0));

@@ -7,12 +7,13 @@
 
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionRegistry, SystemState};
+use cpr_core::liveness::{CommitOutcome, LivenessConfig, SessionStatus};
+use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionId, SessionRegistry, SystemState};
 use cpr_epoch::EpochManager;
 use cpr_storage::{CheckpointStore, FaultInjector};
 use parking_lot::{Condvar, Mutex};
@@ -20,6 +21,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::calc::CommitLog;
 use crate::checkpoint;
 use crate::client::Session;
+use crate::error::CommitError;
 use crate::stats::ClientStats;
 use crate::table::Table;
 use crate::value::DbValue;
@@ -69,6 +71,12 @@ pub struct MemDbOptions {
     /// Optional fault injector for crash-recovery testing: applied to
     /// checkpoint-store writes (CPR/CALC) and WAL flushes.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Session liveness watchdog (CPR/CALC only). When set, sessions carry
+    /// heartbeat leases and a background thread unwedges in-flight commits
+    /// blocked by stragglers: proxy-advancing idle ones, evicting those
+    /// parked mid-transaction, and timing the checkpoint out (abort +
+    /// backoff + retry) when a straggler holds 2PL locks.
+    pub liveness: Option<LivenessConfig>,
 }
 
 impl MemDbOptions {
@@ -85,6 +93,7 @@ impl MemDbOptions {
             commit_log_capacity: 1 << 20,
             incremental: false,
             fault: None,
+            liveness: None,
         }
     }
 
@@ -120,6 +129,10 @@ impl MemDbOptions {
         self.fault = Some(injector);
         self
     }
+    pub fn liveness(mut self, cfg: LivenessConfig) -> Self {
+        self.liveness = Some(cfg);
+        self
+    }
 }
 
 pub(crate) struct DbInner<V: DbValue> {
@@ -137,6 +150,12 @@ pub(crate) struct DbInner<V: DbValue> {
     pub(crate) wal: Option<Wal>,
     capture_tx: Mutex<Option<crossbeam::channel::Sender<u64>>>,
     capture_thread: Mutex<Option<JoinHandle<()>>>,
+    watchdog_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Set by the watchdog to time out a capture stuck behind a straggler's
+    /// record latches; the capture pass polls it and takes the abort path.
+    pub(crate) capture_abort: AtomicBool,
+    /// Outcome of the in-flight (or most recent) supervised commit.
+    pub(crate) outcome: Mutex<CommitOutcome>,
     pub(crate) merged_stats: Mutex<ClientStats>,
     /// Checkpoints that failed on I/O and were aborted (no manifest).
     pub(crate) checkpoint_failures: AtomicU64,
@@ -213,6 +232,9 @@ impl<V: DbValue> MemDb<V> {
             wal,
             capture_tx: Mutex::new(None),
             capture_thread: Mutex::new(None),
+            watchdog_thread: Mutex::new(None),
+            capture_abort: AtomicBool::new(false),
+            outcome: Mutex::new(CommitOutcome::default()),
             merged_stats: Mutex::new(ClientStats::default()),
             checkpoint_failures: AtomicU64::new(0),
             last_capture: Mutex::new(None),
@@ -235,6 +257,15 @@ impl<V: DbValue> MemDb<V> {
                 .expect("spawn capture thread");
             *inner.capture_tx.lock() = Some(tx);
             *inner.capture_thread.lock() = Some(handle);
+
+            if let Some(cfg) = inner.opts.liveness.clone() {
+                let weak = Arc::downgrade(&inner);
+                let handle = std::thread::Builder::new()
+                    .name("cpr-memdb-watchdog".into())
+                    .spawn(move || crate::watchdog::run(weak, cfg))
+                    .expect("spawn watchdog thread");
+                *inner.watchdog_thread.lock() = Some(handle);
+            }
         }
         Ok(MemDb { inner })
     }
@@ -360,25 +391,13 @@ impl<V: DbValue> MemDb<V> {
                 true
             }
             Durability::Cpr | Durability::Calc => {
-                let v = self.inner.state.version();
-                if !self
-                    .inner
-                    .state
-                    .transition((Phase::Rest, v), (Phase::Prepare, v))
-                {
+                if !start_commit(&self.inner) {
                     return false;
                 }
-                let cond = {
-                    let inner = Arc::clone(&self.inner);
-                    move || inner.registry.all_at_least(Phase::Prepare, v)
+                *self.inner.outcome.lock() = CommitOutcome {
+                    attempts: 1,
+                    ..CommitOutcome::default()
                 };
-                let action = {
-                    let inner = Arc::clone(&self.inner);
-                    move || prepare_to_inprog(inner, v)
-                };
-                self.inner
-                    .epoch
-                    .bump_epoch(Some(Box::new(cond)), Box::new(action));
                 true
             }
         }
@@ -419,22 +438,86 @@ impl<V: DbValue> MemDb<V> {
         true
     }
 
-    /// Convenience: request a commit and wait for it (panics on timeout).
-    pub fn commit_and_wait(&self, timeout: Duration) {
-        let v = self.inner.state.version();
-        if matches!(
+    /// Request a commit and wait for its outcome.
+    ///
+    /// Succeeds once *a* checkpoint covering version `v` (the version at
+    /// request time) is durable — if the watchdog aborted and retried, the
+    /// durable version may be higher, and its checkpoint includes `v`'s
+    /// prefix. Fails with [`CommitError::TimedOut`] when the deadline
+    /// passes or the watchdog exhausts its retry budget; the error names
+    /// the sessions blocking the commit at that moment.
+    pub fn commit_and_wait(&self, timeout: Duration) -> Result<CommitOutcome, CommitError> {
+        if !matches!(
             self.inner.opts.durability,
             Durability::Cpr | Durability::Calc
         ) {
-            assert!(self.request_commit(), "commit already in flight");
-            assert!(
-                self.wait_for_version(v, timeout),
-                "commit of version {v} timed out in phase {:?}",
-                self.state()
-            );
-        } else {
             self.request_commit();
+            return Ok(CommitOutcome {
+                attempts: 1,
+                ..CommitOutcome::default()
+            });
         }
+        let v = self.inner.state.version();
+        if !self.request_commit() {
+            return Err(CommitError::NotStarted);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.commit_lock.lock();
+        loop {
+            if self.committed_version() >= v {
+                let mut out = self.inner.outcome.lock();
+                out.committed_version = Some(self.committed_version());
+                return Ok(out.clone());
+            }
+            let gave_up = self.inner.outcome.lock().gave_up;
+            if gave_up || Instant::now() >= deadline {
+                let (phase, _) = self.inner.state.load();
+                return Err(CommitError::TimedOut {
+                    version: v,
+                    phase,
+                    blockers: self.straggler_guids(),
+                });
+            }
+            // Nudge the drain list in case no session is refreshing.
+            self.inner.epoch.try_drain();
+            self.inner
+                .commit_cv
+                .wait_for(&mut g, Duration::from_millis(1));
+        }
+    }
+
+    /// Outcome of the in-flight (or most recent) supervised commit.
+    pub fn last_commit_outcome(&self) -> CommitOutcome {
+        self.inner.outcome.lock().clone()
+    }
+
+    /// The sessions currently holding a commit back: phase blockers while
+    /// sessions gate the transition, expired leases otherwise (capture
+    /// wedged behind a straggler's latches, or the watchdog gave up).
+    fn straggler_guids(&self) -> Vec<SessionId> {
+        let (phase, v) = self.inner.state.load();
+        if matches!(phase, Phase::Prepare | Phase::InProgress) {
+            return self
+                .inner
+                .registry
+                .blockers(phase, v)
+                .into_iter()
+                .map(|(_, guid)| guid)
+                .collect();
+        }
+        let Some(cfg) = &self.inner.opts.liveness else {
+            return Vec::new();
+        };
+        let now = cfg.clock.now();
+        let reg = &self.inner.registry;
+        (0..reg.capacity())
+            .filter_map(|i| {
+                let guid = reg.guid(i)?;
+                (now.saturating_sub(reg.last_heartbeat(i)) > cfg.grace_ticks
+                    && reg.status(i) != SessionStatus::Evicted)
+                    .then_some(guid)
+            })
+            .collect()
     }
 
     /// Aggregated statistics from dropped sessions.
@@ -453,11 +536,37 @@ impl<V: DbValue> MemDb<V> {
     }
 }
 
+/// Kick off the CPR/CALC commit state machine at the current version.
+/// Shared by [`MemDb::request_commit`] and the watchdog's retries.
+pub(crate) fn start_commit<V: DbValue>(inner: &Arc<DbInner<V>>) -> bool {
+    let v = inner.state.version();
+    if !inner.state.transition((Phase::Rest, v), (Phase::Prepare, v)) {
+        return false;
+    }
+    let cond = {
+        let inner = Arc::clone(inner);
+        move || inner.registry.all_at_least(Phase::Prepare, v)
+    };
+    let action = {
+        let inner = Arc::clone(inner);
+        move || prepare_to_inprog(inner, v)
+    };
+    inner
+        .epoch
+        .bump_epoch(Some(Box::new(cond)), Box::new(action));
+    true
+}
+
 fn prepare_to_inprog<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
-    let ok = inner
+    // A failed transition means the watchdog timed this checkpoint out
+    // (aborted to rest at v + 1) before the trigger fired: stand down and
+    // let the retry start a fresh state machine.
+    if !inner
         .state
-        .transition((Phase::Prepare, v), (Phase::InProgress, v));
-    debug_assert!(ok, "state machine out of sync");
+        .transition((Phase::Prepare, v), (Phase::InProgress, v))
+    {
+        return;
+    }
     let epoch = Arc::clone(&inner.epoch);
     let cond_inner = Arc::clone(&inner);
     let cond = move || cond_inner.registry.all_at_least(Phase::InProgress, v);
@@ -466,10 +575,12 @@ fn prepare_to_inprog<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
 }
 
 fn inprog_to_waitflush<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
-    let ok = inner
+    if !inner
         .state
-        .transition((Phase::InProgress, v), (Phase::WaitFlush, v));
-    debug_assert!(ok, "state machine out of sync");
+        .transition((Phase::InProgress, v), (Phase::WaitFlush, v))
+    {
+        return; // checkpoint aborted by the watchdog
+    }
     if let Some(tx) = inner.capture_tx.lock().as_ref() {
         tx.send(v).expect("capture thread alive");
     }
@@ -502,13 +613,15 @@ fn next_wal_generation(dir: &std::path::Path) -> io::Result<u64> {
 
 impl<V: DbValue> Drop for DbInner<V> {
     fn drop(&mut self) {
-        // Close the capture channel, then join the worker.
+        // Close the capture channel, then join the workers.
         self.capture_tx.lock().take();
-        if let Some(h) = self.capture_thread.lock().take() {
-            // The final Arc may be dropped *by the worker itself* (it
-            // upgrades its Weak per job); never join our own thread.
-            if h.thread().id() != std::thread::current().id() {
-                let _ = h.join();
+        for slot in [&self.capture_thread, &self.watchdog_thread] {
+            if let Some(h) = slot.lock().take() {
+                // The final Arc may be dropped *by a worker itself* (each
+                // upgrades its Weak per job); never join our own thread.
+                if h.thread().id() != std::thread::current().id() {
+                    let _ = h.join();
+                }
             }
         }
     }

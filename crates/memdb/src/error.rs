@@ -1,4 +1,6 @@
-//! Transaction abort reasons.
+//! Transaction abort and commit error reasons.
+
+use cpr_core::{Phase, SessionId};
 
 /// Why a transaction aborted. The executor never blocks: under No-Wait
 /// 2PL every conflict is an immediate abort, and during a CPR commit a
@@ -12,6 +14,10 @@ pub enum Abort {
     /// thread-local state has been refreshed; an immediate retry executes
     /// in the new phase.
     CprShift,
+    /// The watchdog evicted this session (lease expired mid-transaction).
+    /// The transaction was not applied, and no further operations are
+    /// accepted: open a fresh session to continue.
+    SessionEvicted,
 }
 
 impl std::fmt::Display for Abort {
@@ -19,8 +25,42 @@ impl std::fmt::Display for Abort {
         match self {
             Abort::Conflict => f.write_str("lock conflict (no-wait)"),
             Abort::CprShift => f.write_str("CPR version shift detected"),
+            Abort::SessionEvicted => f.write_str("session evicted by the liveness watchdog"),
         }
     }
 }
 
 impl std::error::Error for Abort {}
+
+/// Why a requested commit did not (or could not) complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// A commit was already in flight (or durability is off).
+    NotStarted,
+    /// The commit missed its deadline. `blockers` names the sessions
+    /// holding the current phase back at the time of the timeout — the
+    /// stragglers a caller would investigate or tear down.
+    TimedOut {
+        version: u64,
+        phase: Phase,
+        blockers: Vec<SessionId>,
+    },
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::NotStarted => f.write_str("commit not started (already in flight?)"),
+            CommitError::TimedOut {
+                version,
+                phase,
+                blockers,
+            } => write!(
+                f,
+                "commit of version {version} timed out in phase {phase:?}; blockers: {blockers:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}

@@ -50,12 +50,16 @@ mod stats;
 mod table;
 mod value;
 mod wal;
+mod watchdog;
 
 pub use calc::CommitLog;
 pub use client::{Access, Session, TxnRequest};
+pub use cpr_core::liveness::{
+    Clock, CommitOutcome, LivenessConfig, SessionStatus, SystemClock, VirtualClock,
+};
 pub use cpr_core::NoWaitLock;
 pub use db::{Durability, MemDb, MemDbOptions};
-pub use error::Abort;
+pub use error::{Abort, CommitError};
 pub use record::Record;
 pub use stats::ClientStats;
 pub use table::Table;

@@ -16,6 +16,8 @@ pub struct ClientStats {
     pub writes: u64,
     pub aborts_conflict: u64,
     pub aborts_cpr: u64,
+    /// Transactions rejected because the watchdog evicted the session.
+    pub aborts_evicted: u64,
     /// Nanoseconds; populated only when profiling is enabled.
     pub exec_ns: u64,
     pub abort_ns: u64,
@@ -50,6 +52,7 @@ impl ClientStats {
         self.writes += other.writes;
         self.aborts_conflict += other.aborts_conflict;
         self.aborts_cpr += other.aborts_cpr;
+        self.aborts_evicted += other.aborts_evicted;
         self.exec_ns += other.exec_ns;
         self.abort_ns += other.abort_ns;
         self.tail_ns += other.tail_ns;
@@ -57,7 +60,7 @@ impl ClientStats {
     }
 
     pub fn total_attempts(&self) -> u64 {
-        self.committed + self.aborts_conflict + self.aborts_cpr
+        self.committed + self.aborts_conflict + self.aborts_cpr + self.aborts_evicted
     }
 
     /// (exec, abort, tail, log-write) as fractions of profiled time.

@@ -239,7 +239,7 @@ fn commit_with_no_sessions_completes() {
     let db: MemDb<u64> = MemDb::open(opts()).unwrap();
     db.load(1, 11);
     db.load(2, 22);
-    db.commit_and_wait(Duration::from_secs(10));
+    db.commit_and_wait(Duration::from_secs(10)).unwrap();
     drop(db);
 
     let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
@@ -460,7 +460,7 @@ fn wide_values_roundtrip_through_checkpoint() {
     for k in 0..10u64 {
         db.load(k, <[u64; 8] as cpr_memdb::DbValue>::from_seed(k * 7));
     }
-    db.commit_and_wait(Duration::from_secs(10));
+    db.commit_and_wait(Duration::from_secs(10)).unwrap();
     drop(db);
     let (db2, _) = MemDb::<[u64; 8]>::recover(opts()).unwrap();
     for k in 0..10u64 {

@@ -23,7 +23,7 @@ fn truncated_checkpoint_data_is_a_recovery_error() {
         for k in 0..50u64 {
             db.load(k, k);
         }
-        db.commit_and_wait(Duration::from_secs(10));
+        db.commit_and_wait(Duration::from_secs(10)).unwrap();
     }
     let store = cpr_storage::CheckpointStore::open(dir.path()).unwrap();
     let token = store.tokens().unwrap()[0];
@@ -88,6 +88,7 @@ fn read_only_txns_during_commit_stay_consistent() {
             }
             Err(Abort::CprShift) => {} // retried next loop in the new phase
             Err(Abort::Conflict) => {}
+            Err(Abort::SessionEvicted) => unreachable!("no watchdog configured"),
         }
         iterations += 1;
         if iterations % 16 == 0 {

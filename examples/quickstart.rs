@@ -13,6 +13,7 @@ fn read_blocking(session: &mut FasterSession<u64>, key: u64) -> Option<u64> {
     match session.read(key) {
         ReadResult::Found(v) => Some(v),
         ReadResult::NotFound => None,
+        ReadResult::Evicted => panic!("session evicted"),
         ReadResult::Pending => {
             let mut out = Vec::new();
             loop {

@@ -101,6 +101,7 @@ fn memdb_and_faster_agree_on_recovered_state() {
         let kv_val = match s2.read(key) {
             ReadResult::Found(v) => Some(v),
             ReadResult::NotFound => None,
+            ReadResult::Evicted => panic!("session evicted"),
             ReadResult::Pending => {
                 let mut out = Vec::new();
                 loop {

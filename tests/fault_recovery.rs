@@ -388,6 +388,7 @@ fn faster_read(s: &mut FasterSession<u64>, key: u64, tag: &str) -> Option<u64> {
     match s.read(key) {
         ReadResult::Found(v) => Some(v),
         ReadResult::NotFound => None,
+        ReadResult::Evicted => panic!("session evicted"),
         ReadResult::Pending => {
             let mut out = Vec::new();
             for _ in 0..20_000 {

@@ -202,6 +202,7 @@ proptest! {
             let got = match s.read(key) {
                 ReadResult::Found(v) => Some(v),
                 ReadResult::NotFound => None,
+                ReadResult::Evicted => panic!("session evicted"),
                 ReadResult::Pending => {
                     let mut out = Vec::new();
                     let mut res = None;
