@@ -68,8 +68,10 @@ impl Args {
 pub fn usage() -> String {
     "usage: cpr-bench <experiment> [--seconds S] [--threads a,b,c] [--keys N] [--part P]\n\
      \u{20}       stragglers also takes [--stall-every N] [--stall-ms M]\n\
+     \u{20}       ycsb also takes [--metrics-out PATH] (writes a combined JSON metrics report)\n\
+     \u{20}       and [--overhead true|only] (disabled-vs-enabled registry A/B on the FASTER run)\n\
      experiments: fig02 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 phases ablation \
-     extra stragglers all"
+     extra stragglers ycsb all"
         .to_string()
 }
 

@@ -4,8 +4,8 @@
 
 use std::time::{Duration, Instant};
 
-use cpr_faster::{CheckpointVariant, FasterKv, FasterOptions, HlogConfig, VersionGrain};
-use cpr_memdb::{Access, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr_faster::{CheckpointVariant, FasterBuilder, HlogConfig, VersionGrain};
+use cpr_memdb::{Access, Durability, MemDb, TxnRequest};
 use cpr_storage::CheckpointStore;
 use cpr_workload::keys::{KeyDist, Sampler};
 
@@ -29,13 +29,12 @@ fn incremental_vs_full(args: &Args) {
     );
     for incremental in [false, true] {
         let dir = tempfile::tempdir().unwrap();
-        let db: MemDb<u64> = MemDb::open(
-            MemDbOptions::new(Durability::Cpr)
+        let db: MemDb<u64> = MemDb::builder(Durability::Cpr)
                 .dir(dir.path())
                 .capacity(keys as usize * 2)
-                .incremental(incremental),
-        )
-        .unwrap();
+                .incremental(incremental)
+                .open()
+                .unwrap();
         for k in 0..keys {
             db.load(k, k);
         }
@@ -89,19 +88,19 @@ fn recovery_time_by_variant(args: &Args) {
     ] {
         let dir = tempfile::tempdir().unwrap();
         let opts = || {
-            FasterOptions::u64_sums(dir.path())
-                .with_hlog(HlogConfig {
+            FasterBuilder::u64_sums(dir.path())
+                .hlog(HlogConfig {
                     page_bits: 16,
                     memory_pages: 256,
                     mutable_pages: 230,
                     value_size: 8,
                 })
-                .with_index_buckets(1 << 14)
-                .with_grain(VersionGrain::Fine)
+                .index_buckets(1 << 14)
+                .grain(VersionGrain::Fine)
         };
         let log_bytes;
         {
-            let kv = FasterKv::open(opts()).unwrap();
+            let kv = opts().open().unwrap();
             let mut s = kv.start_session(1);
             for k in 0..keys {
                 s.upsert(k, k);
@@ -116,7 +115,7 @@ fn recovery_time_by_variant(args: &Args) {
             log_bytes = kv.log_tail();
         }
         let t0 = Instant::now();
-        let (kv, manifest) = FasterKv::<u64>::recover(opts()).unwrap();
+        let (kv, manifest) = opts().recover().unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1000.0;
         assert!(manifest.is_some());
         drop(kv);

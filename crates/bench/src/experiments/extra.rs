@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use cpr_faster::{FasterKv, FasterOptions, HlogConfig, VersionGrain};
+use cpr_faster::{FasterBuilder, HlogConfig, VersionGrain};
 use cpr_workload::keys::KeyDist;
 use cpr_workload::ycsb::{OpKind, YcsbConfig, YcsbGenerator};
 
@@ -50,24 +50,21 @@ fn run_fixed<V: cpr_core::Pod + From8>(
     rmw: fn(V, V) -> V,
 ) -> (f64, f64) {
     let dir = tempfile::tempdir().unwrap();
-    let opts = FasterOptions::<V> {
-        index_buckets: 1 << 14,
-        hlog: HlogConfig {
+    let kv = FasterBuilder::<V>::new(dir.path())
+        .index_buckets(1 << 14)
+        .hlog(HlogConfig {
             page_bits: 16,
             memory_pages: 1024,
             mutable_pages: 920,
             value_size,
-        },
-        dir: dir.path().to_path_buf(),
-        refresh_every: 64,
-        grain: VersionGrain::Fine,
-        max_sessions: 8,
-        io_threads: 2,
-        rmw,
-        fault: None,
-        liveness: None,
-    };
-    let kv = FasterKv::open(opts).unwrap();
+        })
+        .refresh_every(64)
+        .grain(VersionGrain::Fine)
+        .max_sessions(8)
+        .io_threads(2)
+        .rmw(rmw)
+        .open()
+        .unwrap();
     let mut s = kv.start_session(1);
     for k in 0..keys {
         s.upsert(k, V::from8(k));
@@ -128,16 +125,16 @@ fn larger_than_memory(args: &Args) {
     );
     for memory_pages in [512usize, 128, 64, 32] {
         let dir = tempfile::tempdir().unwrap();
-        let opts = FasterOptions::u64_sums(dir.path())
-            .with_hlog(HlogConfig {
+        let opts = FasterBuilder::u64_sums(dir.path())
+            .hlog(HlogConfig {
                 page_bits: 14, // 16 KiB pages
                 memory_pages,
                 mutable_pages: memory_pages / 2,
                 value_size: 8,
             })
-            .with_index_buckets(1 << 14)
-            .with_refresh_every(32);
-        let kv = FasterKv::open(opts).unwrap();
+            .index_buckets(1 << 14)
+            .refresh_every(32);
+        let kv = opts.open().unwrap();
         let mut s = kv.start_session(1);
         for k in 0..keys {
             s.upsert(k, k);

@@ -5,3 +5,4 @@ pub mod extra;
 pub mod faster_figs;
 pub mod memdb_figs;
 pub mod stragglers;
+pub mod ycsb;

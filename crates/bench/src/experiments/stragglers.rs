@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cpr_faster::{
-    CheckpointVariant, FasterKv, FasterOptions, HlogConfig, LivenessConfig, ReadResult, Status,
+    CheckpointVariant, FasterBuilder, HlogConfig, LivenessConfig, ReadResult, Status,
 };
 use cpr_workload::keys::KeyDist;
 use cpr_workload::ycsb::{OpKind, YcsbConfig, YcsbGenerator};
@@ -54,27 +54,27 @@ fn run(
     watchdog: bool,
 ) -> Vec<String> {
     let dir = tempfile::tempdir().expect("tempdir");
-    let mut opts = FasterOptions::u64_sums(dir.path())
-        .with_index_buckets(1 << 14)
-        .with_hlog(HlogConfig {
+    let mut opts = FasterBuilder::u64_sums(dir.path())
+        .index_buckets(1 << 14)
+        .hlog(HlogConfig {
             page_bits: 16,      // 64 KiB pages
             memory_pages: 1024, // working set stays memory-resident
             mutable_pages: 920,
             value_size: 8,
         })
-        .with_refresh_every(64);
+        .refresh_every(64);
     if watchdog {
         // Grace well below the stall (SystemClock ticks are ms) so the
         // watchdog acts while the straggler is parked, but far above the
         // refresh cadence of a healthy thread.
         let grace = (stall_ms / 4).max(5);
-        opts = opts.with_liveness(
+        opts = opts.liveness(
             LivenessConfig::system()
                 .grace_ticks(grace)
                 .poll_interval(Duration::from_millis(1)),
         );
     }
-    let kv = FasterKv::open(opts).expect("open");
+    let kv = opts.open().expect("open");
     {
         let mut loader = kv.start_session(1000);
         for k in 0..keys {
@@ -132,7 +132,7 @@ fn run(
     let mut evicted = 0u64;
     let mut max_ms = 0.0f64;
     while started.elapsed().as_secs_f64() < seconds {
-        let target = kv.committed_version() + 1;
+        let target = kv.committed_version().next();
         let t0 = Instant::now();
         if !kv.request_checkpoint(CheckpointVariant::FoldOver, true) {
             std::thread::sleep(Duration::from_millis(1));

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cpr_faster::{CheckpointVariant, FasterKv, FasterOptions, HlogConfig, Status, VersionGrain};
+use cpr_faster::{CheckpointVariant, FasterKv, FasterBuilder, HlogConfig, Status, VersionGrain};
 use cpr_workload::keys::KeyDist;
 use cpr_workload::ycsb::{OpKind, YcsbConfig, YcsbGenerator};
 
@@ -29,6 +29,8 @@ pub struct FasterRunConfig {
     /// Wall-clock marks (seconds) at which to request a commit.
     pub checkpoint_at: Vec<f64>,
     pub sample_every: f64,
+    /// Optional live metrics registry wired into the store.
+    pub metrics: Option<Arc<cpr_metrics::Registry>>,
 }
 
 impl FasterRunConfig {
@@ -54,6 +56,7 @@ impl FasterRunConfig {
             log_only: false,
             checkpoint_at: Vec::new(),
             sample_every: 0.5,
+            metrics: None,
         }
     }
 }
@@ -84,12 +87,15 @@ pub struct FasterRunResult {
 /// Run one configuration to completion.
 pub fn run_faster(cfg: &FasterRunConfig) -> FasterRunResult {
     let dir = tempfile::tempdir().expect("tempdir");
-    let opts = FasterOptions::u64_sums(dir.path())
-        .with_hlog(cfg.hlog)
-        .with_index_buckets(cfg.index_buckets)
-        .with_grain(cfg.grain)
-        .with_refresh_every(64);
-    let kv: FasterKv<u64> = FasterKv::open(opts).expect("open faster");
+    let mut opts = FasterBuilder::u64_sums(dir.path())
+        .hlog(cfg.hlog)
+        .index_buckets(cfg.index_buckets)
+        .grain(cfg.grain)
+        .refresh_every(64);
+    if let Some(m) = &cfg.metrics {
+        opts = opts.metrics(Arc::clone(m));
+    }
+    let kv: FasterKv<u64> = opts.open().expect("open faster");
 
     // Pre-load every key so reads always hit.
     {
@@ -245,12 +251,12 @@ pub struct EndToEndResult {
 
 pub fn run_end_to_end(cfg: &FasterRunConfig, buffer_entries: usize) -> EndToEndResult {
     let dir = tempfile::tempdir().expect("tempdir");
-    let opts = FasterOptions::u64_sums(dir.path())
-        .with_hlog(cfg.hlog)
-        .with_index_buckets(cfg.index_buckets)
-        .with_grain(cfg.grain)
-        .with_refresh_every(64);
-    let kv: FasterKv<u64> = FasterKv::open(opts).expect("open faster");
+    let opts = FasterBuilder::u64_sums(dir.path())
+        .hlog(cfg.hlog)
+        .index_buckets(cfg.index_buckets)
+        .grain(cfg.grain)
+        .refresh_every(64);
+    let kv: FasterKv<u64> = opts.open().expect("open faster");
     {
         let mut s = kv.start_session(1_000_000);
         for k in 0..cfg.num_keys {

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cpr_memdb::{Access, ClientStats, DbValue, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr_memdb::{Access, ClientStats, DbValue, Durability, MemDb, TxnRequest};
 use cpr_workload::keys::KeyDist;
 use cpr_workload::tpcc::{TpccConfig, TpccGenerator};
 use cpr_workload::txn::{AccessType, TxnConfig, TxnGenerator};
@@ -34,6 +34,8 @@ pub struct MemdbRunConfig {
     pub checkpoint_at: Vec<f64>,
     pub sample_every: f64,
     pub workload: MemdbWorkload,
+    /// Optional live metrics registry wired into the database.
+    pub metrics: Option<Arc<cpr_metrics::Registry>>,
 }
 
 impl MemdbRunConfig {
@@ -46,6 +48,7 @@ impl MemdbRunConfig {
             checkpoint_at: Vec::new(),
             sample_every: 0.5,
             workload,
+            metrics: None,
         }
     }
 }
@@ -84,13 +87,16 @@ fn run_generic<V: DbValue>(cfg: &MemdbRunConfig) -> MemdbRunResult {
         MemdbWorkload::Ycsb { num_keys, .. } => num_keys as usize * 2,
         MemdbWorkload::Tpcc { warehouses, .. } => (warehouses as usize) * 140_000,
     };
-    let opts = MemDbOptions::new(cfg.system)
+    let mut opts = MemDb::builder(cfg.system)
         .dir(dir.path())
         .capacity(capacity)
         .profile(cfg.profile)
         .max_sessions(cfg.threads + 4)
         .refresh_every(64);
-    let db: MemDb<V> = MemDb::open(opts).expect("open db");
+    if let Some(m) = &cfg.metrics {
+        opts = opts.metrics(Arc::clone(m));
+    }
+    let db: MemDb<V> = opts.open().expect("open db");
 
     // Pre-load.
     match cfg.workload {

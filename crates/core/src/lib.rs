@@ -24,13 +24,31 @@ mod sessions;
 mod state;
 pub mod sync;
 pub mod value;
+mod version;
 
 pub use liveness::{
     BusyState, Clock, CommitOutcome, LivenessConfig, SessionStatus, SystemClock, VirtualClock,
 };
 pub use manifest::{CheckpointKind, CheckpointManifest, SessionCpr};
 pub use phase::Phase;
-pub use sessions::{SessionId, SessionRegistry, SessionSlot};
+pub use sessions::{SessionId, SessionInfo, SessionRegistry, SessionSlot};
 pub use state::SystemState;
 pub use sync::NoWaitLock;
 pub use value::{pod_read, pod_size, pod_write, Pod};
+pub use version::CheckpointVersion;
+
+/// One-stop imports for applications using either engine:
+///
+/// ```
+/// use cpr_core::prelude::*;
+///
+/// let cfg = LivenessConfig::system();
+/// assert_eq!(Phase::Rest.name(), "rest");
+/// assert_eq!(CheckpointVersion::NONE, 0);
+/// let _ = (cfg, CommitOutcome::default());
+/// ```
+pub mod prelude {
+    pub use crate::liveness::{CommitOutcome, LivenessConfig, SessionStatus};
+    pub use crate::manifest::{CheckpointKind, CheckpointManifest};
+    pub use crate::{CheckpointVersion, Phase, SessionId, SessionInfo};
+}

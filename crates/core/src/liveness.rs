@@ -244,7 +244,7 @@ pub struct CommitOutcome {
     /// Checkpoint attempts rolled back via `CheckpointStore::abort`.
     pub aborted: u32,
     /// The version that became durable, if the commit succeeded.
-    pub committed_version: Option<u64>,
+    pub committed_version: Option<crate::CheckpointVersion>,
     /// True when `max_attempts` was exhausted without a durable commit.
     pub gave_up: bool,
 }

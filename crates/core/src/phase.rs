@@ -52,18 +52,24 @@ impl Phase {
     pub fn checkpointing(self) -> bool {
         self != Phase::Rest
     }
-}
 
-impl std::fmt::Display for Phase {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+    /// The paper's phase name, without allocating (same strings as
+    /// `Display`). Used as phase labels by the metrics tracer.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
             Phase::Rest => "rest",
             Phase::Prepare => "prepare",
             Phase::InProgress => "in-progress",
             Phase::WaitPending => "wait-pending",
             Phase::WaitFlush => "wait-flush",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

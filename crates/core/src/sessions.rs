@@ -19,6 +19,20 @@ use crate::Phase;
 /// Session identifier — the paper's session `Guid`.
 pub type SessionId = u64;
 
+/// A session's unified public view, shared by both engines (replaces the
+/// ad-hoc `view() -> (Phase, u64)` tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session's stable identifier (paper: `Guid`).
+    pub guid: SessionId,
+    /// Serial number of the most recently accepted operation.
+    pub serial: u64,
+    /// The session's thread-local view of the commit state machine.
+    pub phase: Phase,
+    /// The CPR version the session is operating at.
+    pub version: crate::CheckpointVersion,
+}
+
 const VERSION_BITS: u32 = 48;
 const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
 
@@ -356,6 +370,25 @@ impl SessionRegistry {
                 (!reached).then_some((i, owner - 1))
             })
             .collect()
+    }
+
+    /// First occupied, non-evicted slot that has **not** reached
+    /// `(phase, version)`, as `(slot, guid)` — an allocation-free sample
+    /// for metrics ("which session is holding this transition back right
+    /// now"). Use [`SessionRegistry::blockers`] for the complete list.
+    pub fn first_blocker(&self, phase: Phase, version: u64) -> Option<(usize, SessionId)> {
+        self.slots.iter().enumerate().find_map(|(i, s)| {
+            let owner = s.owner.load(Ordering::Acquire);
+            if owner == 0 {
+                return None;
+            }
+            if SessionStatus::from_u64(s.status.load(Ordering::SeqCst)) == SessionStatus::Evicted {
+                return None;
+            }
+            let (p, v) = unpack(s.state.load(Ordering::Acquire));
+            let reached = v > version || (v == version && p >= phase);
+            (!reached).then_some((i, owner - 1))
+        })
     }
 
     /// Guid owning slot `idx`, if any.

@@ -1,0 +1,124 @@
+//! The [`CheckpointVersion`] newtype.
+//!
+//! CPR versions are small monotone integers (the `v` of the paper's
+//! `(phase, version)` pairs), but a raw `u64` in a public signature says
+//! nothing about which of the repo's many counters it is (serials,
+//! epochs, tokens, versions…). Engine APIs traffic in
+//! [`CheckpointVersion`] instead; the durable manifest keeps a plain
+//! `u64` (wire format, documented in [`crate::manifest`]).
+//!
+//! The newtype compares directly against `u64` in both directions, so
+//! call sites like `db.committed_version() >= 1` read naturally.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// A CPR commit version. Version 0 means "nothing committed yet";
+/// committed versions start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CheckpointVersion(pub u64);
+
+impl CheckpointVersion {
+    /// No checkpoint committed yet.
+    pub const NONE: CheckpointVersion = CheckpointVersion(0);
+
+    /// The raw version number.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next version (`v + 1`).
+    #[inline]
+    pub fn next(self) -> CheckpointVersion {
+        CheckpointVersion(self.0 + 1)
+    }
+}
+
+impl From<u64> for CheckpointVersion {
+    fn from(v: u64) -> Self {
+        CheckpointVersion(v)
+    }
+}
+
+impl From<CheckpointVersion> for u64 {
+    fn from(v: CheckpointVersion) -> Self {
+        v.0
+    }
+}
+
+impl PartialEq<u64> for CheckpointVersion {
+    fn eq(&self, other: &u64) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<CheckpointVersion> for u64 {
+    fn eq(&self, other: &CheckpointVersion) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialOrd<u64> for CheckpointVersion {
+    fn partial_cmp(&self, other: &u64) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialOrd<CheckpointVersion> for u64 {
+    fn partial_cmp(&self, other: &CheckpointVersion) -> Option<std::cmp::Ordering> {
+        self.partial_cmp(&other.0)
+    }
+}
+
+impl std::fmt::Display for CheckpointVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+// Hand-written (the vendored serde_derive handles only named-field
+// structs): serializes transparently as the inner integer.
+impl Serialize for CheckpointVersion {
+    fn to_value(&self) -> Value {
+        Value::UInt(self.0)
+    }
+}
+
+impl Deserialize for CheckpointVersion {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        u64::from_value(v).map(CheckpointVersion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compares_against_raw_u64() {
+        let v = CheckpointVersion(2);
+        assert!(v == 2);
+        assert!(2u64 == v);
+        assert!(v > 1);
+        assert!(v < 3);
+        assert!(1u64 < v);
+        assert!(v >= 2);
+        assert_eq!(v.next(), 3);
+        assert_eq!(u64::from(v), 2);
+        assert_eq!(CheckpointVersion::from(7u64).get(), 7);
+        assert_eq!(CheckpointVersion::NONE, 0);
+    }
+
+    #[test]
+    fn displays_with_v_prefix() {
+        assert_eq!(CheckpointVersion(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn serializes_as_plain_integer() {
+        let v = CheckpointVersion(42);
+        assert_eq!(v.to_value(), Value::UInt(42));
+        let back = CheckpointVersion::from_value(&Value::UInt(42)).unwrap();
+        assert_eq!(back, v);
+    }
+}

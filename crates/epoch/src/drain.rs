@@ -13,6 +13,10 @@ pub(crate) struct DrainEntry {
     pub epoch: u64,
     pub cond: Option<Condition>,
     pub action: Action,
+    /// Bump timestamp, stamped only when metrics are enabled, so
+    /// [`crate::EpochManager::try_drain`] can report bump-to-drain
+    /// latency.
+    pub created: Option<std::time::Instant>,
 }
 
 impl DrainEntry {

@@ -41,6 +41,10 @@ pub struct EpochManager {
     /// lock entirely in the (overwhelmingly common) empty case.
     drain: Mutex<Vec<DrainEntry>>,
     drain_len: AtomicUsize,
+    /// Optional metrics sink (bump-to-drain latency, drain-list depth).
+    /// Consulted only on `bump_epoch` and when a trigger actually fires —
+    /// never on the empty-drain hot path.
+    metrics: Mutex<Option<Arc<cpr_metrics::Registry>>>,
 }
 
 impl EpochManager {
@@ -58,7 +62,15 @@ impl EpochManager {
             table,
             drain: Mutex::new(Vec::new()),
             drain_len: AtomicUsize::new(0),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Attach a metrics registry. Typically called once by the owning
+    /// engine right after construction; a disabled registry keeps every
+    /// instrumentation point a no-op.
+    pub fn set_metrics(&self, metrics: Arc<cpr_metrics::Registry>) {
+        *self.metrics.lock() = Some(metrics);
     }
 
     /// The current epoch `E`.
@@ -140,6 +152,11 @@ impl EpochManager {
     /// pre-bump epoch is safe and `cond` (if any) holds. Returns the new
     /// current epoch.
     pub fn bump_epoch(&self, cond: Option<Condition>, action: Action) -> u64 {
+        let metrics = self.metrics.lock().clone();
+        let created = metrics
+            .as_ref()
+            .is_some_and(|m| m.is_enabled())
+            .then(std::time::Instant::now);
         // Reserve the entry *before* publishing the bump so a racing
         // drain cannot miss it: the entry's trigger epoch is the pre-bump
         // current epoch, which cannot be safe until every thread refreshes
@@ -150,8 +167,14 @@ impl EpochManager {
             epoch: e,
             cond,
             action,
+            created,
         });
-        self.drain_len.store(drain.len(), Ordering::Release);
+        let depth = drain.len();
+        self.drain_len.store(depth, Ordering::Release);
+        drop(drain);
+        if let Some(m) = metrics {
+            m.epoch_bump(depth as u64);
+        }
         e + 1
     }
 
@@ -162,13 +185,14 @@ impl EpochManager {
             return;
         }
         let safe = self.compute_safe();
-        let ready: Vec<Action> = {
+        let ready: Vec<(Action, Option<std::time::Instant>)> = {
             let mut drain = self.drain.lock();
             let mut ready = Vec::new();
             let mut i = 0;
             while i < drain.len() {
                 if drain[i].ready(safe) {
-                    ready.push(drain.swap_remove(i).action);
+                    let entry = drain.swap_remove(i);
+                    ready.push((entry.action, entry.created));
                 } else {
                     i += 1;
                 }
@@ -176,9 +200,18 @@ impl EpochManager {
             self.drain_len.store(drain.len(), Ordering::Release);
             ready
         };
+        if !ready.is_empty() {
+            if let Some(m) = self.metrics.lock().clone() {
+                for (_, created) in &ready {
+                    if let Some(t) = created {
+                        m.epoch_drained(t.elapsed());
+                    }
+                }
+            }
+        }
         // Run outside the lock: actions are allowed to bump the epoch and
         // schedule further actions.
-        for action in ready {
+        for (action, _) in ready {
             action();
         }
     }

@@ -45,6 +45,16 @@ pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
         .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
     debug_assert!(ok, "state machine out of sync at commit completion");
     let _ = mark_phase::<V>; // (phase marks already pushed above)
+    if inner.metrics_on {
+        let out = inner.outcome.lock();
+        inner.metrics.checkpoints.end(
+            v,
+            committed.is_some(),
+            out.attempts as u64,
+            out.proxy_advanced.len() as u64,
+            out.evicted.len() as u64,
+        );
+    }
     if let Some(manifest) = committed {
         inner.committed_version.store(v, Ordering::Release);
         for cb in inner.commit_callbacks.lock().iter() {

@@ -14,10 +14,10 @@
 //!
 //! # Quickstart
 //! ```
-//! use cpr_faster::{CheckpointVariant, FasterKv, FasterOptions, ReadResult, Status};
+//! use cpr_faster::{CheckpointVariant, FasterBuilder, ReadResult, Status};
 //!
 //! let dir = tempfile::tempdir().unwrap();
-//! let kv = FasterKv::open(FasterOptions::u64_sums(dir.path())).unwrap();
+//! let kv = FasterBuilder::u64_sums(dir.path()).open().unwrap();
 //! let mut session = kv.start_session(7);
 //!
 //! assert_eq!(session.upsert(1, 100), Status::Ok);
@@ -47,7 +47,11 @@ mod watchdog;
 pub use cpr_core::liveness::{
     Clock, CommitOutcome, LivenessConfig, SessionStatus, SystemClock, VirtualClock,
 };
+pub use cpr_core::{CheckpointVersion, SessionInfo};
 pub use hlog::{HlogConfig, HybridLog};
 pub use index::HashIndex;
 pub use session::{Completion, FasterSession, OpKind, ReadResult, SessionStats, Status};
-pub use store::{CheckpointVariant, CommitCallback, FasterKv, FasterOptions, VersionGrain};
+pub use store::{
+    CheckpointVariant, CommitCallback, FasterBuilder, FasterKv, FasterOptions, FasterStore,
+    VersionGrain,
+};

@@ -34,7 +34,7 @@ pub(crate) fn recover<V: Pod>(
     })?;
     let Some(m_log) = m_log else {
         // Nothing committed: a fresh store.
-        return Ok((FasterKv::open(opts)?, None));
+        return Ok((FasterKv::open_inner(opts)?, None));
     };
 
     let device: Arc<dyn Device> = Arc::new(FileDevice::open(opts.dir.join("log.dat"))?);

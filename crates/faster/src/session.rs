@@ -11,9 +11,10 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use cpr_core::liveness::{BusyState, Clock, SessionStatus};
-use cpr_core::{Phase, Pod};
+use cpr_core::{CheckpointVersion, Phase, Pod, SessionInfo};
 
 use crate::addr::{Address, INVALID_ADDRESS};
 use crate::header::{version13, Header};
@@ -36,12 +37,23 @@ pub enum ReadResult<V> {
 
 /// Result of an update operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Status {
     Ok,
     Pending,
     /// The liveness watchdog evicted this session; the op was not
     /// accepted. Retry on a fresh session.
     Evicted,
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Status::Ok => f.write_str("ok"),
+            Status::Pending => f.write_str("pending"),
+            Status::Evicted => f.write_str("session evicted"),
+        }
+    }
 }
 
 /// Kind of a user operation.
@@ -188,8 +200,20 @@ impl<V: Pod> FasterSession<V> {
     }
 
     /// Thread-local (phase, version) view.
+    #[deprecated(since = "0.2.0", note = "use `info()` instead")]
     pub fn view(&self) -> (Phase, u64) {
         (self.phase, self.version)
+    }
+
+    /// Structured snapshot of the session's identity and thread-local
+    /// CPR state.
+    pub fn info(&self) -> SessionInfo {
+        SessionInfo {
+            guid: self.guid,
+            serial: self.serial,
+            phase: self.phase,
+            version: CheckpointVersion::from(self.version),
+        }
     }
 
     /// Number of operations awaiting completion.
@@ -529,9 +553,24 @@ impl<V: Pod> FasterSession<V> {
         }
     }
 
+    /// Record op metrics: completed ops contribute a latency sample,
+    /// evicted ops count as aborts, pendings are sampled at completion.
+    #[inline]
+    fn record_op(&self, t0: Option<Instant>, reads: u64, writes: u64, done: bool) {
+        if let Some(t0) = t0 {
+            if done {
+                self.store.metrics.record_commit(t0.elapsed(), reads, writes);
+            }
+        }
+    }
+
     pub fn read(&mut self, key: u64) -> ReadResult<V> {
         self.maybe_refresh();
+        let t0 = self.store.metrics_on.then(Instant::now);
         if !self.enter_op() {
+            if self.store.metrics_on {
+                self.store.metrics.record_abort();
+            }
             return ReadResult::Evicted;
         }
         self.serial += 1;
@@ -541,13 +580,18 @@ impl<V: Pod> FasterSession<V> {
             DriveResult::Done(None) => ReadResult::NotFound,
             DriveResult::Pending => ReadResult::Pending,
         };
+        self.record_op(t0, 1, 0, !matches!(out, ReadResult::Pending));
         self.exit_op();
         out
     }
 
     pub fn upsert(&mut self, key: u64, value: V) -> Status {
         self.maybe_refresh();
+        let t0 = self.store.metrics_on.then(Instant::now);
         if !self.enter_op() {
+            if self.store.metrics_on {
+                self.store.metrics.record_abort();
+            }
             return Status::Evicted;
         }
         self.serial += 1;
@@ -556,6 +600,7 @@ impl<V: Pod> FasterSession<V> {
             DriveResult::Done(_) => Status::Ok,
             DriveResult::Pending => Status::Pending,
         };
+        self.record_op(t0, 0, 1, out == Status::Ok);
         self.exit_op();
         out
     }
@@ -564,7 +609,11 @@ impl<V: Pod> FasterSession<V> {
     /// initialized to `input`.
     pub fn rmw(&mut self, key: u64, input: V) -> Status {
         self.maybe_refresh();
+        let t0 = self.store.metrics_on.then(Instant::now);
         if !self.enter_op() {
+            if self.store.metrics_on {
+                self.store.metrics.record_abort();
+            }
             return Status::Evicted;
         }
         self.serial += 1;
@@ -573,13 +622,18 @@ impl<V: Pod> FasterSession<V> {
             DriveResult::Done(_) => Status::Ok,
             DriveResult::Pending => Status::Pending,
         };
+        self.record_op(t0, 0, 1, out == Status::Ok);
         self.exit_op();
         out
     }
 
     pub fn delete(&mut self, key: u64) -> Status {
         self.maybe_refresh();
+        let t0 = self.store.metrics_on.then(Instant::now);
         if !self.enter_op() {
+            if self.store.metrics_on {
+                self.store.metrics.record_abort();
+            }
             return Status::Evicted;
         }
         self.serial += 1;
@@ -588,6 +642,7 @@ impl<V: Pod> FasterSession<V> {
             DriveResult::Done(_) => Status::Ok,
             DriveResult::Pending => Status::Pending,
         };
+        self.record_op(t0, 0, 1, out == Status::Ok);
         self.exit_op();
         out
     }

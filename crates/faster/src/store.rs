@@ -9,9 +9,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cpr_core::liveness::{CommitOutcome, LivenessConfig};
-use cpr_core::{CheckpointManifest, NoWaitLock, Phase, Pod, SessionRegistry, SystemState};
+use cpr_core::{
+    CheckpointManifest, CheckpointVersion, NoWaitLock, Phase, Pod, SessionRegistry, SystemState,
+};
 use cpr_epoch::EpochManager;
-use cpr_storage::{CheckpointStore, Device, FaultDevice, FaultInjector, FileDevice};
+use cpr_metrics::{MetricsReport, Registry};
+use cpr_storage::{
+    CheckpointStore, Device, FaultDevice, FaultInjector, FileDevice, MeteredDevice,
+};
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 
@@ -63,27 +68,42 @@ pub struct FasterOptions<V: Pod> {
     /// Optional session liveness watchdog: lease-based straggler
     /// detection, checkpoint abort + backoff, dead-session reclamation.
     pub liveness: Option<LivenessConfig>,
+    /// Metrics registry; defaults to a disabled no-op sink.
+    pub metrics: Arc<Registry>,
 }
 
 impl FasterOptions<u64> {
     /// The paper's YCSB RMW workload: a running per-key sum.
     pub fn u64_sums(dir: impl Into<PathBuf>) -> Self {
         FasterOptions {
-            index_buckets: 1 << 12,
-            hlog: HlogConfig::small_for_tests(),
-            dir: dir.into(),
-            refresh_every: 64,
-            grain: VersionGrain::Fine,
-            max_sessions: 64,
-            io_threads: 2,
             rmw: |old, input| old.wrapping_add(input),
-            fault: None,
-            liveness: None,
+            ..FasterOptions::defaults(dir.into())
         }
     }
 }
 
 impl<V: Pod> FasterOptions<V> {
+    /// Baseline configuration shared by every entry point. The default
+    /// `rmw` is last-writer-wins (`new = input`); the default `hlog`
+    /// sizes `value_size` for `V`.
+    pub(crate) fn defaults(dir: PathBuf) -> Self {
+        let mut hlog = HlogConfig::small_for_tests();
+        hlog.value_size = std::mem::size_of::<V>();
+        FasterOptions {
+            index_buckets: 1 << 12,
+            hlog,
+            dir,
+            refresh_every: 64,
+            grain: VersionGrain::Fine,
+            max_sessions: 64,
+            io_threads: 2,
+            rmw: |_old, input| input,
+            fault: None,
+            liveness: None,
+            metrics: Registry::noop(),
+        }
+    }
+
     pub fn with_hlog(mut self, hlog: HlogConfig) -> Self {
         self.hlog = hlog;
         self
@@ -107,6 +127,134 @@ impl<V: Pod> FasterOptions<V> {
     pub fn with_liveness(mut self, cfg: LivenessConfig) -> Self {
         self.liveness = Some(cfg);
         self
+    }
+    pub fn with_metrics(mut self, metrics: Arc<Registry>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+}
+
+/// Fluent builder for a [`FasterKv`] store; obtained from
+/// [`FasterKv::builder`]. Terminal methods are [`open`](Self::open)
+/// (fresh store, truncates any existing log) and
+/// [`recover`](Self::recover) (Alg. 3 recovery from the newest committed
+/// checkpoint).
+///
+/// Defaults: `index_buckets = 4096`, a small test-sized hybrid log with
+/// `value_size = size_of::<V>()`, `refresh_every = 64`,
+/// `grain = VersionGrain::Fine`, `max_sessions = 64`, `io_threads = 2`,
+/// last-writer-wins RMW (`new = input`), no fault injection, no liveness
+/// watchdog, and a disabled metrics registry. Use
+/// [`FasterBuilder::u64_sums`] for the paper's summing YCSB workload.
+///
+/// ```
+/// use cpr_faster::{FasterKv, Status};
+///
+/// let dir = tempfile::tempdir().unwrap();
+/// let kv: FasterKv<u64> = FasterKv::builder(dir.path())
+///     .refresh_every(16)
+///     .open()
+///     .unwrap();
+/// let mut session = kv.start_session(1);
+/// assert_eq!(session.upsert(1, 42), Status::Ok);
+/// ```
+pub struct FasterBuilder<V: Pod> {
+    opts: FasterOptions<V>,
+}
+
+impl<V: Pod> std::fmt::Debug for FasterBuilder<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FasterBuilder")
+            .field("dir", &self.opts.dir)
+            .field("index_buckets", &self.opts.index_buckets)
+            .field("grain", &self.opts.grain)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FasterBuilder<u64> {
+    /// The paper's YCSB RMW workload preset: a running per-key sum.
+    pub fn u64_sums(dir: impl Into<PathBuf>) -> Self {
+        FasterBuilder {
+            opts: FasterOptions::u64_sums(dir),
+        }
+    }
+}
+
+impl<V: Pod> FasterBuilder<V> {
+    /// Start from the documented defaults, rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FasterBuilder {
+            opts: FasterOptions::defaults(dir.into()),
+        }
+    }
+
+    /// Number of hash-index buckets (8 entries each).
+    pub fn index_buckets(mut self, n: usize) -> Self {
+        self.opts.index_buckets = n;
+        self
+    }
+    /// Hybrid-log geometry; `value_size` must equal `size_of::<V>()`.
+    pub fn hlog(mut self, hlog: HlogConfig) -> Self {
+        self.opts.hlog = hlog;
+        self
+    }
+    /// Ops between automatic session refreshes.
+    pub fn refresh_every(mut self, k: u64) -> Self {
+        self.opts.refresh_every = k;
+        self
+    }
+    /// Version-shift granularity (paper Appx. C).
+    pub fn grain(mut self, g: VersionGrain) -> Self {
+        self.opts.grain = g;
+        self
+    }
+    /// Maximum number of concurrently live sessions.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.opts.max_sessions = n;
+        self
+    }
+    /// Size of the background I/O completion pool.
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.opts.io_threads = n;
+        self
+    }
+    /// RMW semantics: `new = rmw(old, input)`; a missing key starts from
+    /// `input`.
+    pub fn rmw(mut self, f: fn(V, V) -> V) -> Self {
+        self.opts.rmw = f;
+        self
+    }
+    /// Decorate the log device and checkpoint store with a scriptable
+    /// fault injector (crash-recovery testing).
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.opts.fault = Some(injector);
+        self
+    }
+    /// Enable the session liveness watchdog.
+    pub fn liveness(mut self, cfg: LivenessConfig) -> Self {
+        self.opts.liveness = Some(cfg);
+        self
+    }
+    /// Attach a metrics registry (see [`cpr_metrics::Registry::new`]).
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.opts.metrics = registry;
+        self
+    }
+    /// Escape hatch: the underlying options struct.
+    pub fn options(self) -> FasterOptions<V> {
+        self.opts
+    }
+
+    /// Open a fresh store (truncates any existing log).
+    pub fn open(self) -> io::Result<FasterKv<V>> {
+        FasterKv::open_inner(self.opts)
+    }
+
+    /// Recover from the newest committed checkpoint (paper Sec. 6.4 /
+    /// Alg. 3). Returns the manifest used, if any.
+    pub fn recover(self) -> io::Result<(FasterKv<V>, Option<CheckpointManifest>)> {
+        crate::recovery::recover(self.opts)
     }
 }
 
@@ -178,12 +326,22 @@ pub(crate) struct StoreInner<V: Pod> {
     pub(crate) grain: VersionGrain,
     pub(crate) rmw: fn(V, V) -> V,
     pub(crate) value_words: usize,
+    /// Observability sink (no-op unless enabled at open time).
+    pub(crate) metrics: Arc<Registry>,
+    /// Cached `metrics.is_enabled()` so hot paths skip clock reads.
+    pub(crate) metrics_on: bool,
+    /// Fault injector handle, kept so snapshots can report fault hits.
+    pub(crate) fault: Option<Arc<FaultInjector>>,
 }
 
 /// Handle to a FASTER store; cheap to clone.
 pub struct FasterKv<V: Pod> {
     pub(crate) inner: Arc<StoreInner<V>>,
 }
+
+/// Store-centric alias for [`FasterKv`], matching the builder-first API
+/// surface (`FasterStore::builder(dir)...open()`).
+pub type FasterStore<V> = FasterKv<V>;
 
 impl<V: Pod> Clone for FasterKv<V> {
     fn clone(&self) -> Self {
@@ -194,8 +352,19 @@ impl<V: Pod> Clone for FasterKv<V> {
 }
 
 impl<V: Pod> FasterKv<V> {
+    /// Fluent configuration starting from the documented defaults; see
+    /// [`FasterBuilder`].
+    pub fn builder(dir: impl Into<PathBuf>) -> FasterBuilder<V> {
+        FasterBuilder::new(dir)
+    }
+
     /// Open a fresh store (truncates any existing log).
+    #[deprecated(since = "0.2.0", note = "use `FasterKv::builder(dir)...open()` instead")]
     pub fn open(opts: FasterOptions<V>) -> io::Result<Self> {
+        Self::open_inner(opts)
+    }
+
+    pub(crate) fn open_inner(opts: FasterOptions<V>) -> io::Result<Self> {
         std::fs::create_dir_all(&opts.dir)?;
         let base: Arc<dyn Device> = Arc::new(FileDevice::create(opts.dir.join("log.dat"))?);
         let device: Arc<dyn Device> = match &opts.fault {
@@ -207,6 +376,10 @@ impl<V: Pod> FasterKv<V> {
 
     /// Recover from the newest committed checkpoint (paper Sec. 6.4 /
     /// Alg. 3). Returns the manifest used, if any.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `FasterKv::builder(dir)...recover()` instead"
+    )]
     pub fn recover(opts: FasterOptions<V>) -> io::Result<(Self, Option<CheckpointManifest>)> {
         crate::recovery::recover(opts)
     }
@@ -222,13 +395,21 @@ impl<V: Pod> FasterKv<V> {
             std::mem::size_of::<V>(),
             "hlog value_size must match size_of::<V>()"
         );
+        let metrics_on = opts.metrics.is_enabled();
+        let device: Arc<dyn Device> = if metrics_on {
+            epoch.set_metrics(Arc::clone(&opts.metrics));
+            Arc::new(MeteredDevice::new(device, Arc::clone(&opts.metrics)))
+        } else {
+            device
+        };
         let hlog = HybridLog::new(opts.hlog, Arc::clone(&device), Arc::clone(&epoch));
         let (index, version, sessions) = match recovered {
             Some((index, version, sessions)) => (index, version, sessions),
             None => (HashIndex::new(opts.index_buckets), 1, HashMap::new()),
         };
         let latch_count = index.bucket_count();
-        let store = CheckpointStore::open_with(opts.dir.join("checkpoints"), opts.fault.clone())?;
+        let store = CheckpointStore::open_with(opts.dir.join("checkpoints"), opts.fault.clone())?
+            .with_metrics(Arc::clone(&opts.metrics));
         let io = IoPool::new(device, opts.io_threads);
         let inner = Arc::new(StoreInner {
             latches: (0..latch_count).map(|_| NoWaitLock::new()).collect(),
@@ -262,6 +443,9 @@ impl<V: Pod> FasterKv<V> {
             grain: opts.grain,
             rmw: opts.rmw,
             value_words: crate::header::RecordLayout::new(opts.hlog.value_size).value_words(),
+            metrics: opts.metrics,
+            metrics_on,
+            fault: opts.fault,
         });
         // Checkpoint worker: runs the wait-flush work off the hot path.
         // Holds only a Weak reference so dropping the last user handle
@@ -341,9 +525,22 @@ impl<V: Pod> FasterKv<V> {
         self.inner.commit_callbacks.lock().push(Box::new(callback));
     }
 
-    /// Version of the newest durable commit (0 = none).
-    pub fn committed_version(&self) -> u64 {
-        self.inner.committed_version.load(Ordering::Acquire)
+    /// Version of the newest durable commit
+    /// ([`CheckpointVersion::NONE`] = none).
+    pub fn committed_version(&self) -> CheckpointVersion {
+        CheckpointVersion::from(self.inner.committed_version.load(Ordering::Acquire))
+    }
+
+    /// Snapshot of every metric the store has recorded: op latencies,
+    /// per-checkpoint phase timelines, epoch drain behaviour and storage
+    /// traffic. Cheap when metrics are disabled (returns an empty,
+    /// `enabled: false` report).
+    pub fn metrics_snapshot(&self) -> MetricsReport {
+        let mut report = self.inner.metrics.snapshot();
+        if let Some(inj) = &self.inner.fault {
+            report.storage.faults_injected = inj.fault_hits();
+        }
+        report
     }
 
     /// Number of checkpoint attempts that failed on I/O and were aborted
@@ -365,7 +562,8 @@ impl<V: Pod> FasterKv<V> {
 
     /// Block until the commit of `version` is durable (sessions must keep
     /// refreshing). Returns `false` on timeout.
-    pub fn wait_for_version(&self, version: u64, timeout: Duration) -> bool {
+    pub fn wait_for_version(&self, version: impl Into<CheckpointVersion>, timeout: Duration) -> bool {
+        let version = version.into();
         let deadline = Instant::now() + timeout;
         let mut g = self.inner.commit_lock.lock();
         while self.committed_version() < version {
@@ -438,16 +636,35 @@ pub(crate) fn start_checkpoint<V: Pod>(
         started: Instant::now(),
         phase_marks: vec![(Phase::Prepare, Duration::ZERO)],
     });
+    if inner.metrics_on {
+        inner.metrics.checkpoints.begin(v, ckpt_kind_label(variant, log_only));
+    }
 
     let i1 = Arc::clone(inner);
     let i2 = Arc::clone(inner);
     inner.epoch.bump_epoch(
         Some(Box::new(move || {
-            i1.registry.all_at_least(Phase::Prepare, v)
+            let ready = i1.registry.all_at_least(Phase::Prepare, v);
+            if !ready && i1.metrics_on {
+                if let Some((_, guid)) = i1.registry.first_blocker(Phase::Prepare, v) {
+                    i1.metrics.checkpoints.note_blocker(guid);
+                }
+            }
+            ready
         })),
         Box::new(move || prepare_to_inprog(i2, v)),
     );
     true
+}
+
+/// Human-readable checkpoint-kind label for the phase tracer.
+pub(crate) fn ckpt_kind_label(variant: CheckpointVariant, log_only: bool) -> &'static str {
+    match (variant, log_only) {
+        (CheckpointVariant::FoldOver, false) => "fold-over",
+        (CheckpointVariant::FoldOver, true) => "fold-over-log-only",
+        (CheckpointVariant::Snapshot, false) => "snapshot",
+        (CheckpointVariant::Snapshot, true) => "snapshot-log-only",
+    }
 }
 
 fn prepare_to_inprog<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
@@ -465,7 +682,13 @@ fn prepare_to_inprog<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
     let i2 = inner;
     epoch.bump_epoch(
         Some(Box::new(move || {
-            i1.registry.all_at_least(Phase::InProgress, v)
+            let ready = i1.registry.all_at_least(Phase::InProgress, v);
+            if !ready && i1.metrics_on {
+                if let Some((_, guid)) = i1.registry.first_blocker(Phase::InProgress, v) {
+                    i1.metrics.checkpoints.note_blocker(guid);
+                }
+            }
+            ready
         })),
         Box::new(move || inprog_to_waitpending(i2, v)),
     );
@@ -484,8 +707,14 @@ fn inprog_to_waitpending<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
     let i2 = inner;
     epoch.bump_epoch(
         Some(Box::new(move || {
-            i1.registry.all_at_least(Phase::WaitPending, v)
-                && i1.pending_count[(v & 1) as usize].load(Ordering::Acquire) == 0
+            let ready = i1.registry.all_at_least(Phase::WaitPending, v)
+                && i1.pending_count[(v & 1) as usize].load(Ordering::Acquire) == 0;
+            if !ready && i1.metrics_on {
+                if let Some((_, guid)) = i1.registry.first_blocker(Phase::WaitPending, v) {
+                    i1.metrics.checkpoints.note_blocker(guid);
+                }
+            }
+            ready
         })),
         Box::new(move || waitpending_to_waitflush(i2, v)),
     );
@@ -507,6 +736,14 @@ fn waitpending_to_waitflush<V: Pod>(inner: Arc<StoreInner<V>>, v: u64) {
 pub(crate) fn mark_phase<V: Pod>(inner: &StoreInner<V>, phase: Phase) {
     if let Some(ctx) = inner.ckpt.lock().as_mut() {
         ctx.phase_marks.push((phase, ctx.started.elapsed()));
+    }
+    if inner.metrics_on {
+        // The state machine has already transitioned to (phase, v) when
+        // this runs, so the current version indexes the active trace.
+        inner
+            .metrics
+            .checkpoints
+            .mark(inner.state.version(), phase.name());
     }
 }
 

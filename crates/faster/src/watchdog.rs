@@ -248,6 +248,17 @@ fn abort_checkpoint<V: Pod>(
     }
     let mut out = db.outcome.lock();
     out.aborted += 1;
+    if db.metrics_on {
+        // The wait-flush worker never runs for this attempt, so the
+        // tracer's timeline must be finalized here.
+        db.metrics.checkpoints.end(
+            v,
+            false,
+            out.attempts as u64,
+            out.proxy_advanced.len() as u64,
+            out.evicted.len() as u64,
+        );
+    }
     if out.attempts >= cfg.max_attempts {
         out.gave_up = true;
         *retry_at = None;

@@ -8,19 +8,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cpr_faster::{
-    CheckpointVariant, FasterKv, FasterOptions, HlogConfig, ReadResult, VersionGrain,
+    CheckpointVariant, FasterBuilder, HlogConfig, ReadResult, VersionGrain,
 };
 
-fn opts(dir: &std::path::Path, grain: VersionGrain) -> FasterOptions<u64> {
-    FasterOptions::u64_sums(dir)
-        .with_hlog(HlogConfig {
+fn opts(dir: &std::path::Path, grain: VersionGrain) -> FasterBuilder<u64> {
+    FasterBuilder::u64_sums(dir)
+        .hlog(HlogConfig {
             page_bits: 12,
             memory_pages: 32,
             mutable_pages: 16,
             value_size: 8,
         })
-        .with_grain(grain)
-        .with_refresh_every(8)
+        .grain(grain)
+        .refresh_every(8)
 }
 
 fn storm(grain: VersionGrain) {
@@ -29,7 +29,7 @@ fn storm(grain: VersionGrain) {
     const KEYS: u64 = 64;
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let workers: Vec<_> = (0..SESSIONS)
             .map(|g| {
@@ -105,7 +105,7 @@ fn storm(grain: VersionGrain) {
     }
 
     // Recovery lands on the last commit and the store is fully usable.
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     let manifest = manifest.unwrap();
     assert_eq!(manifest.version, COMMITS);
     assert_eq!(manifest.sessions.len() as u64, SESSIONS);

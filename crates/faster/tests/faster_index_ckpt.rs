@@ -4,18 +4,18 @@
 use std::time::Duration;
 
 use cpr_faster::{
-    CheckpointVariant, FasterKv, FasterOptions, HlogConfig, ReadResult, VersionGrain,
+    CheckpointVariant, FasterBuilder, HlogConfig, ReadResult, VersionGrain,
 };
 
-fn opts(dir: &std::path::Path) -> FasterOptions<u64> {
-    FasterOptions::u64_sums(dir)
-        .with_hlog(HlogConfig {
+fn opts(dir: &std::path::Path) -> FasterBuilder<u64> {
+    FasterBuilder::u64_sums(dir)
+        .hlog(HlogConfig {
             page_bits: 12,
             memory_pages: 16,
             mutable_pages: 8,
             value_size: 8,
         })
-        .with_refresh_every(8)
+        .refresh_every(8)
 }
 
 fn read_now(s: &mut cpr_faster::FasterSession<u64>, key: u64) -> Option<u64> {
@@ -45,7 +45,7 @@ fn read_now(s: &mut cpr_faster::FasterSession<u64>, key: u64) -> Option<u64> {
 fn log_only_commits_recover_via_older_index_checkpoint() {
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path())).unwrap();
+        let kv = opts(dir.path()).open().unwrap();
         let mut s = kv.start_session(3);
         for k in 0..200u64 {
             s.upsert(k, k + 1);
@@ -64,7 +64,7 @@ fn log_only_commits_recover_via_older_index_checkpoint() {
         }
         s.upsert(9999, 1); // post-point, lost
     }
-    let (kv, manifest) = FasterKv::recover(opts(dir.path())).unwrap();
+    let (kv, manifest) = opts(dir.path()).recover().unwrap();
     let manifest = manifest.unwrap();
     assert_eq!(manifest.version, 3);
     assert!(manifest.index_begin.is_none(), "log-only commit");
@@ -82,7 +82,7 @@ fn log_only_commits_recover_via_older_index_checkpoint() {
 fn log_only_without_any_index_checkpoint_replays_from_origin() {
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path())).unwrap();
+        let kv = opts(dir.path()).open().unwrap();
         let mut s = kv.start_session(1);
         for k in 0..300u64 {
             s.upsert(k, k * 3);
@@ -92,7 +92,7 @@ fn log_only_without_any_index_checkpoint_replays_from_origin() {
             s.refresh();
         }
     }
-    let (kv, _) = FasterKv::recover(opts(dir.path())).unwrap();
+    let (kv, _) = opts(dir.path()).recover().unwrap();
     let (mut s, _) = kv.continue_session(1);
     for k in (0..300u64).step_by(37) {
         assert_eq!(read_now(&mut s, k), Some(k * 3), "key {k}");
@@ -105,7 +105,7 @@ fn log_only_without_any_index_checkpoint_replays_from_origin() {
 fn corrupted_index_dump_is_a_recovery_error() {
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path())).unwrap();
+        let kv = opts(dir.path()).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(1, 1);
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
@@ -118,7 +118,7 @@ fn corrupted_index_dump_is_a_recovery_error() {
     let token = store.tokens().unwrap()[0];
     std::fs::write(store.file(token, "index.dat"), vec![0xFF; 64]).unwrap();
     assert!(
-        FasterKv::<u64>::recover(opts(dir.path())).is_err(),
+        opts(dir.path()).recover().is_err(),
         "corrupted index must not recover silently"
     );
 }
@@ -128,7 +128,7 @@ fn corrupted_index_dump_is_a_recovery_error() {
 fn missing_snapshot_file_is_a_recovery_error() {
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path())).unwrap();
+        let kv = opts(dir.path()).open().unwrap();
         let mut s = kv.start_session(1);
         for k in 0..50u64 {
             s.upsert(k, k);
@@ -141,7 +141,7 @@ fn missing_snapshot_file_is_a_recovery_error() {
     let store = cpr_storage::CheckpointStore::open(dir.path().join("checkpoints")).unwrap();
     let token = store.tokens().unwrap()[0];
     std::fs::remove_file(store.file(token, "snapshot.dat")).unwrap();
-    assert!(FasterKv::<u64>::recover(opts(dir.path())).is_err());
+    assert!(opts(dir.path()).recover().is_err());
 }
 
 /// Checkpoints tolerate both grains back-to-back on one store (the grain
@@ -150,7 +150,7 @@ fn missing_snapshot_file_is_a_recovery_error() {
 fn grain_can_change_across_restarts() {
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path()).with_grain(VersionGrain::Fine)).unwrap();
+        let kv = opts(dir.path()).grain(VersionGrain::Fine).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(5, 50);
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
@@ -158,7 +158,7 @@ fn grain_can_change_across_restarts() {
             s.refresh();
         }
     }
-    let (kv, _) = FasterKv::recover(opts(dir.path()).with_grain(VersionGrain::Coarse)).unwrap();
+    let (kv, _) = opts(dir.path()).grain(VersionGrain::Coarse).recover().unwrap();
     let (mut s, _) = kv.continue_session(1);
     assert_eq!(read_now(&mut s, 5), Some(50));
     // And commit again under the new grain. Note reads are operations
@@ -176,7 +176,7 @@ fn grain_can_change_across_restarts() {
 #[test]
 fn phase_marks_cover_all_transitions() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(opts(dir.path())).unwrap();
+    let kv = opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     for k in 0..50u64 {
         s.upsert(k, k);
@@ -206,7 +206,7 @@ fn commit_callbacks_deliver_cpr_points() {
     use std::sync::Arc;
 
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(opts(dir.path())).unwrap();
+    let kv = opts(dir.path()).open().unwrap();
     let seen_version = Arc::new(AtomicU64::new(0));
     let seen_point = Arc::new(AtomicU64::new(u64::MAX));
     let (sv, sp) = (seen_version.clone(), seen_point.clone());

@@ -1,10 +1,10 @@
 //! Operational tests for the FASTER store: regional behaviour, pending
 //! I/O for disk-resident records, deletes, sessions.
 
-use cpr_faster::{FasterKv, FasterOptions, HlogConfig, OpKind, ReadResult, Status};
+use cpr_faster::{FasterBuilder, HlogConfig, OpKind, ReadResult, Status};
 
-fn small_opts(dir: &std::path::Path) -> FasterOptions<u64> {
-    FasterOptions::u64_sums(dir).with_hlog(HlogConfig {
+fn small_opts(dir: &std::path::Path) -> FasterBuilder<u64> {
+    FasterBuilder::u64_sums(dir).hlog(HlogConfig {
         page_bits: 12,
         memory_pages: 8,
         mutable_pages: 4,
@@ -15,7 +15,7 @@ fn small_opts(dir: &std::path::Path) -> FasterOptions<u64> {
 #[test]
 fn upsert_read_roundtrip() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     for k in 0..100u64 {
         assert_eq!(s.upsert(k, k * 10), Status::Ok);
@@ -29,7 +29,7 @@ fn upsert_read_roundtrip() {
 #[test]
 fn rmw_accumulates_sums() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     for _ in 0..10 {
         assert_eq!(s.rmw(7, 5), Status::Ok);
@@ -40,7 +40,7 @@ fn rmw_accumulates_sums() {
 #[test]
 fn delete_hides_key_and_reinsert_works() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     s.upsert(9, 99);
     assert_eq!(s.delete(9), Status::Ok);
@@ -52,7 +52,7 @@ fn delete_hides_key_and_reinsert_works() {
 #[test]
 fn updates_in_readonly_region_copy_to_tail() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     // Fill several pages so early keys fall below the read-only offset.
     for k in 0..1000u64 {
@@ -96,7 +96,7 @@ fn updates_in_readonly_region_copy_to_tail() {
 #[test]
 fn disk_resident_reads_complete_via_pending_path() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     // Push enough data that early pages are evicted (8 frames of 4 KiB,
     // 24-byte records → ~170/page; 10k records ≈ 60 pages).
@@ -150,7 +150,7 @@ fn disk_resident_reads_complete_via_pending_path() {
 #[test]
 fn rmw_on_disk_resident_key_uses_fetched_base() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     s.upsert(5, 1000);
     for k in 100..10_000u64 {
@@ -175,7 +175,7 @@ fn rmw_on_disk_resident_key_uses_fetched_base() {
 #[test]
 fn two_sessions_see_each_others_writes() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut a = kv.start_session(1);
     let mut b = kv.start_session(2);
     a.upsert(1, 11);
@@ -187,7 +187,7 @@ fn two_sessions_see_each_others_writes() {
 #[test]
 fn serial_numbers_are_monotone_per_session() {
     let dir = tempfile::tempdir().unwrap();
-    let kv = FasterKv::open(small_opts(dir.path())).unwrap();
+    let kv = small_opts(dir.path()).open().unwrap();
     let mut s = kv.start_session(1);
     assert_eq!(s.serial(), 0);
     s.upsert(1, 1);
@@ -201,8 +201,8 @@ fn concurrent_rmw_sums_are_exact() {
     // The canonical atomicity test: N threads × M increments on shared
     // keys must sum exactly.
     let dir = tempfile::tempdir().unwrap();
-    let opts = small_opts(dir.path()).with_refresh_every(16);
-    let kv = FasterKv::open(opts).unwrap();
+    let opts = small_opts(dir.path()).refresh_every(16);
+    let kv = opts.open().unwrap();
     const THREADS: u64 = 4;
     const INCR: u64 = 2000;
     const KEYS: u64 = 8;

@@ -7,19 +7,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cpr_faster::{
-    CheckpointVariant, FasterKv, FasterOptions, HlogConfig, ReadResult, VersionGrain,
+    CheckpointVariant, FasterBuilder, HlogConfig, ReadResult, VersionGrain,
 };
 
-fn opts(dir: &std::path::Path, grain: VersionGrain) -> FasterOptions<u64> {
-    FasterOptions::u64_sums(dir)
-        .with_hlog(HlogConfig {
+fn opts(dir: &std::path::Path, grain: VersionGrain) -> FasterBuilder<u64> {
+    FasterBuilder::u64_sums(dir)
+        .hlog(HlogConfig {
             page_bits: 12,
             memory_pages: 16,
             mutable_pages: 8,
             value_size: 8,
         })
-        .with_grain(grain)
-        .with_refresh_every(8)
+        .grain(grain)
+        .refresh_every(8)
 }
 
 fn read_now(s: &mut cpr_faster::FasterSession<u64>, key: u64) -> Option<u64> {
@@ -51,7 +51,7 @@ fn read_now(s: &mut cpr_faster::FasterSession<u64>, key: u64) -> Option<u64> {
 fn single_session_prefix(variant: CheckpointVariant, grain: VersionGrain, log_only: bool) {
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(42);
         for k in 0..100u64 {
             s.upsert(k, k + 1);
@@ -66,7 +66,7 @@ fn single_session_prefix(variant: CheckpointVariant, grain: VersionGrain, log_on
         }
         // crash without another commit
     }
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     let manifest = manifest.expect("one commit");
     assert_eq!(manifest.version, 1);
     let (mut s, point) = kv.continue_session(42);
@@ -112,7 +112,7 @@ fn concurrent_prefix(variant: CheckpointVariant, grain: VersionGrain) {
     const KEYS: u64 = 32;
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let workers: Vec<_> = (0..SESSIONS)
             .map(|g| {
@@ -150,7 +150,7 @@ fn concurrent_prefix(variant: CheckpointVariant, grain: VersionGrain) {
             w.join().unwrap();
         }
     }
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     let manifest = manifest.unwrap();
     for g in 0..SESSIONS {
         let (mut s, point) = kv.continue_session(g);
@@ -198,7 +198,7 @@ fn rmw_checkpoint_sums(variant: CheckpointVariant, grain: VersionGrain) {
     const KEYS: u64 = 4;
     let dir = tempfile::tempdir().unwrap();
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let stop = Arc::new(AtomicBool::new(false));
         let workers: Vec<_> = (0..SESSIONS)
             .map(|g| {
@@ -229,7 +229,7 @@ fn rmw_checkpoint_sums(variant: CheckpointVariant, grain: VersionGrain) {
             w.join().unwrap();
         }
     }
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     let manifest = manifest.unwrap();
     let committed_ops: u64 = (0..SESSIONS)
         .map(|g| manifest.cpr_point(g).unwrap_or(0))
@@ -268,7 +268,7 @@ fn second_commit_supersedes_first() {
     let dir = tempfile::tempdir().unwrap();
     let grain = VersionGrain::Fine;
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(1, 100);
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
@@ -283,7 +283,7 @@ fn second_commit_supersedes_first() {
         }
         s.upsert(3, 999); // lost
     }
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     assert_eq!(manifest.unwrap().version, 2);
     let (mut s, point) = kv.continue_session(1);
     assert_eq!(point, 3);
@@ -298,7 +298,7 @@ fn committed_deletes_survive_recovery() {
     let dir = tempfile::tempdir().unwrap();
     let grain = VersionGrain::Fine;
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(1, 10);
         s.upsert(2, 20);
@@ -308,7 +308,7 @@ fn committed_deletes_survive_recovery() {
             s.refresh();
         }
     }
-    let (kv, _) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, _) = opts(dir.path(), grain).recover().unwrap();
     let (mut s, _) = kv.continue_session(1);
     assert_eq!(read_now(&mut s, 1), None, "committed delete lost");
     assert_eq!(read_now(&mut s, 2), Some(20));
@@ -321,7 +321,7 @@ fn recovery_with_large_log_and_eviction() {
     let dir = tempfile::tempdir().unwrap();
     let grain = VersionGrain::Coarse;
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(5);
         for k in 0..20_000u64 {
             s.upsert(k % 5000, k);
@@ -338,7 +338,7 @@ fn recovery_with_large_log_and_eviction() {
             std::thread::sleep(Duration::from_millis(1));
         }
     }
-    let (kv, _) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, _) = opts(dir.path(), grain).recover().unwrap();
     let (mut s, point) = kv.continue_session(5);
     assert_eq!(point, 20_000);
     // Spot-check: last writer of key k was upsert with value
@@ -354,7 +354,7 @@ fn crash_during_checkpoint_falls_back_to_previous() {
     let dir = tempfile::tempdir().unwrap();
     let grain = VersionGrain::Fine;
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(1, 111);
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
@@ -365,7 +365,7 @@ fn crash_during_checkpoint_falls_back_to_previous() {
     // Fake a torn second checkpoint: directory without manifest.
     std::fs::create_dir_all(dir.path().join("checkpoints/cpt.99")).unwrap();
     std::fs::write(dir.path().join("checkpoints/cpt.99/index.dat"), b"junk").unwrap();
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     assert_eq!(manifest.unwrap().version, 1);
     let (mut s, _) = kv.continue_session(1);
     assert_eq!(read_now(&mut s, 1), Some(111));
@@ -379,7 +379,7 @@ fn torn_manifest_reads_as_uncommitted() {
     let dir = tempfile::tempdir().unwrap();
     let grain = VersionGrain::Fine;
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(1, 111);
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
@@ -397,7 +397,7 @@ fn torn_manifest_reads_as_uncommitted() {
     )
     .unwrap();
     std::fs::write(dir.path().join("checkpoints/cpt.99/index.dat"), b"junk").unwrap();
-    let (kv, manifest) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, manifest) = opts(dir.path(), grain).recover().unwrap();
     assert_eq!(manifest.unwrap().version, 1);
     let (mut s, _) = kv.continue_session(1);
     assert_eq!(read_now(&mut s, 1), Some(111));
@@ -409,7 +409,7 @@ fn continue_unknown_session_starts_fresh() {
     let dir = tempfile::tempdir().unwrap();
     let grain = VersionGrain::Fine;
     {
-        let kv = FasterKv::open(opts(dir.path(), grain)).unwrap();
+        let kv = opts(dir.path(), grain).open().unwrap();
         let mut s = kv.start_session(1);
         s.upsert(1, 1);
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false));
@@ -417,7 +417,7 @@ fn continue_unknown_session_starts_fresh() {
             s.refresh();
         }
     }
-    let (kv, _) = FasterKv::recover(opts(dir.path(), grain)).unwrap();
+    let (kv, _) = opts(dir.path(), grain).recover().unwrap();
     let (s, point) = kv.continue_session(777);
     assert_eq!(point, 0);
     assert_eq!(s.serial(), 0);

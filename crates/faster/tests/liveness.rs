@@ -11,16 +11,16 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use cpr_faster::{
-    CheckpointVariant, Clock, FasterKv, FasterOptions, FasterSession, HlogConfig, LivenessConfig,
+    CheckpointVariant, Clock, FasterKv, FasterBuilder, FasterSession, HlogConfig, LivenessConfig,
     ReadResult, Status, VirtualClock,
 };
 
 const GRACE: u64 = 100;
 
-fn liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> FasterOptions<u64> {
-    FasterOptions::u64_sums(dir)
-        .with_refresh_every(4)
-        .with_liveness(
+fn liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> FasterBuilder<u64> {
+    FasterBuilder::u64_sums(dir)
+        .refresh_every(4)
+        .liveness(
             LivenessConfig::with_clock(Arc::clone(clock) as Arc<dyn Clock>)
                 .grace_ticks(GRACE)
                 .backoff_base_ticks(10)
@@ -31,8 +31,8 @@ fn liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> FasterOpti
 
 /// Same, but with a log small enough that early pages leave memory and
 /// reads of cold keys go down the asynchronous pending path.
-fn small_liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> FasterOptions<u64> {
-    liveness_opts(dir, clock).with_hlog(HlogConfig {
+fn small_liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> FasterBuilder<u64> {
+    liveness_opts(dir, clock).hlog(HlogConfig {
         page_bits: 12,
         memory_pages: 8,
         mutable_pages: 4,
@@ -78,7 +78,7 @@ fn read_eventually(s: &mut FasterSession<u64>, key: u64) -> Option<u64> {
 fn run_idle_straggler(variant: CheckpointVariant) {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let kv = FasterKv::open(liveness_opts(dir.path(), &clock)).unwrap();
+    let kv = liveness_opts(dir.path(), &clock).open().unwrap();
 
     let (done_tx, done_rx) = mpsc::channel::<()>();
     let (unpark_tx, unpark_rx) = mpsc::channel::<()>();
@@ -116,7 +116,7 @@ fn run_idle_straggler(variant: CheckpointVariant) {
 
     drop(a);
     drop(kv);
-    let (kv2, manifest) = FasterKv::recover(liveness_opts(dir.path(), &clock)).unwrap();
+    let (kv2, manifest) = liveness_opts(dir.path(), &clock).recover().unwrap();
     assert!(manifest.is_some());
     let mut s = kv2.start_session(2);
     for k in 100..110u64 {
@@ -137,7 +137,7 @@ fn idle_straggler_is_proxy_advanced_snapshot() {
 fn run_mid_op_eviction(variant: CheckpointVariant) {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let kv = FasterKv::open(liveness_opts(dir.path(), &clock)).unwrap();
+    let kv = liveness_opts(dir.path(), &clock).open().unwrap();
 
     let (parked_tx, parked_rx) = mpsc::channel::<()>();
     let (unpark_tx, unpark_rx) = mpsc::channel::<()>();
@@ -180,7 +180,7 @@ fn run_mid_op_eviction(variant: CheckpointVariant) {
 
     drop(a);
     drop(kv);
-    let (kv2, _) = FasterKv::recover(liveness_opts(dir.path(), &clock)).unwrap();
+    let (kv2, _) = liveness_opts(dir.path(), &clock).recover().unwrap();
     let mut s = kv2.start_session(2);
     for k in 200..205u64 {
         assert_eq!(read_eventually(&mut s, k), Some(2000 + k), "committed prefix lost");
@@ -212,7 +212,7 @@ fn mid_op_straggler_is_evicted_snapshot() {
 fn parked_session_with_pending_io_is_evicted_and_cancelled() {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let kv = FasterKv::open(small_liveness_opts(dir.path(), &clock)).unwrap();
+    let kv = small_liveness_opts(dir.path(), &clock).open().unwrap();
 
     // Fill enough pages that the early keys are disk-resident.
     {
@@ -276,7 +276,7 @@ fn parked_session_with_pending_io_is_evicted_and_cancelled() {
 
     drop(a);
     drop(kv);
-    let (kv2, _) = FasterKv::recover(small_liveness_opts(dir.path(), &clock)).unwrap();
+    let (kv2, _) = small_liveness_opts(dir.path(), &clock).recover().unwrap();
     let mut s = kv2.start_session(2);
     for k in 3000..3005u64 {
         assert_eq!(

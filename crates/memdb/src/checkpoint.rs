@@ -51,6 +51,16 @@ pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
         *inner.last_capture.lock() = Some(started.elapsed());
         *inner.last_capture_token.lock() = Some(token);
     }
+    if inner.opts.metrics.is_enabled() {
+        let out = inner.outcome.lock();
+        inner.opts.metrics.checkpoints.end(
+            v,
+            committed.is_some(),
+            out.attempts as u64,
+            out.proxy_advanced.len() as u64,
+            out.evicted.len() as u64,
+        );
+    }
     let _g = inner.commit_lock.lock();
     inner.commit_cv.notify_all();
 }

@@ -12,7 +12,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cpr_core::liveness::{BusyState, Clock, SessionStatus};
-use cpr_core::Phase;
+use cpr_core::{Phase, SessionInfo};
+use cpr_metrics::Registry;
 
 use crate::db::{DbInner, Durability};
 use crate::error::Abort;
@@ -61,6 +62,10 @@ pub struct Session<V: DbValue> {
     durable_serial: u64,
     /// Lease clock, present iff the database runs a liveness watchdog.
     clock: Option<Arc<dyn Clock>>,
+    /// Metrics sink (cached Arc + enabled flag so the hot path pays one
+    /// branch, no pointer chase, when metrics are off).
+    metrics: Arc<Registry>,
+    metrics_on: bool,
     /// Cached "this session has been evicted" flag (set once, sticky).
     evicted: bool,
     /// Test hook: runs right after the session enters a transaction
@@ -85,6 +90,8 @@ impl<V: DbValue> Session<V> {
             db.registry.heartbeat(slot, c.now());
             guard.arm_exit_sentinel();
         }
+        let metrics = Arc::clone(&db.opts.metrics);
+        let metrics_on = metrics.is_enabled();
         Session {
             db,
             guard,
@@ -97,6 +104,8 @@ impl<V: DbValue> Session<V> {
             pending_points: VecDeque::new(),
             durable_serial: 0,
             clock,
+            metrics,
+            metrics_on,
             evicted: false,
             pause_in_txn: None,
             pause_locked: None,
@@ -136,8 +145,20 @@ impl<V: DbValue> Session<V> {
     }
 
     /// Thread-local (phase, version) view.
+    #[deprecated(since = "0.2.0", note = "use `Session::info()` instead")]
     pub fn view(&self) -> (Phase, u64) {
         (self.phase, self.version)
+    }
+
+    /// Snapshot of this session's identity and thread-local state-machine
+    /// view. Shares its shape with `cpr-faster`'s sessions.
+    pub fn info(&self) -> SessionInfo {
+        SessionInfo {
+            guid: self.guid,
+            serial: self.serial,
+            phase: self.phase,
+            version: self.version.into(),
+        }
     }
 
     /// Publish the local epoch, adopt any global state change, and mark a
@@ -218,6 +239,7 @@ impl<V: DbValue> Session<V> {
         }
         let profile = self.db.opts.profile;
         let t0 = profile.then(Instant::now);
+        let m0 = self.metrics_on.then(Instant::now);
 
         let result = match self.db.opts.durability {
             Durability::Wal => self.exec_wal(txn, reads, profile),
@@ -236,6 +258,15 @@ impl<V: DbValue> Session<V> {
                     let side = self.stats.take_pending_side_ns();
                     self.stats.exec_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(side);
                 }
+                if let Some(m0) = m0 {
+                    let reads = txn
+                        .accesses
+                        .iter()
+                        .filter(|&&(_, a)| a == Access::Read)
+                        .count() as u64;
+                    let writes = txn.accesses.len() as u64 - reads;
+                    self.metrics.record_commit(m0.elapsed(), reads, writes);
+                }
                 Ok(())
             }
             Err(a) => {
@@ -247,6 +278,9 @@ impl<V: DbValue> Session<V> {
                 if let Some(t0) = t0 {
                     let _ = self.stats.take_pending_side_ns();
                     self.stats.abort_ns += t0.elapsed().as_nanos() as u64;
+                }
+                if self.metrics_on {
+                    self.metrics.record_abort();
                 }
                 if a == Abort::CprShift {
                     // Paper: the thread refreshes immediately so the retry

@@ -13,8 +13,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cpr_core::liveness::{CommitOutcome, LivenessConfig, SessionStatus};
-use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionId, SessionRegistry, SystemState};
+use cpr_core::{
+    CheckpointKind, CheckpointManifest, CheckpointVersion, Phase, SessionId, SessionRegistry,
+    SystemState,
+};
 use cpr_epoch::EpochManager;
+use cpr_metrics::{MetricsReport, Registry};
 use cpr_storage::{CheckpointStore, FaultInjector};
 use parking_lot::{Condvar, Mutex};
 
@@ -77,10 +81,19 @@ pub struct MemDbOptions {
     /// parked mid-transaction, and timing the checkpoint out (abort +
     /// backoff + retry) when a straggler holds 2PL locks.
     pub liveness: Option<LivenessConfig>,
+    /// Metrics registry. Defaults to the no-op sink
+    /// ([`cpr_metrics::Registry::noop`]), which keeps the hot paths free
+    /// of timing calls; pass [`cpr_metrics::Registry::new`] to collect.
+    pub metrics: Arc<Registry>,
 }
 
 impl MemDbOptions {
+    #[deprecated(since = "0.2.0", note = "use `MemDb::builder(durability)` instead")]
     pub fn new(durability: Durability) -> Self {
+        Self::defaults(durability)
+    }
+
+    pub(crate) fn defaults(durability: Durability) -> Self {
         MemDbOptions {
             durability,
             capacity: 1 << 16,
@@ -94,6 +107,7 @@ impl MemDbOptions {
             incremental: false,
             fault: None,
             liveness: None,
+            metrics: Registry::noop(),
         }
     }
 
@@ -132,6 +146,130 @@ impl MemDbOptions {
     pub fn liveness(mut self, cfg: LivenessConfig) -> Self {
         self.liveness = Some(cfg);
         self
+    }
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = registry;
+        self
+    }
+}
+
+/// Fluent constructor for [`MemDb`] — the blessed way to open a database.
+///
+/// Every setter documents its default; omitted settings keep them. The
+/// terminal calls are [`open`](MemDbBuilder::open) (fresh database) and
+/// [`recover`](MemDbBuilder::recover) (resume from the newest durable
+/// checkpoint or WAL).
+///
+/// ```
+/// use cpr_memdb::{Durability, MemDb};
+///
+/// let db: MemDb<u64> = MemDb::builder(Durability::None)
+///     .capacity(1 << 10)
+///     .refresh_every(32)
+///     .open()
+///     .unwrap();
+/// db.load(1, 7);
+/// assert_eq!(db.read(1), Some(7));
+/// ```
+pub struct MemDbBuilder<V: DbValue> {
+    opts: MemDbOptions,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V: DbValue> std::fmt::Debug for MemDbBuilder<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemDbBuilder").field("opts", &self.opts).finish()
+    }
+}
+
+impl<V: DbValue> Clone for MemDbBuilder<V> {
+    fn clone(&self) -> Self {
+        MemDbBuilder {
+            opts: self.opts.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V: DbValue> MemDbBuilder<V> {
+    /// Expected number of records — hash-table sizing hint (default 2^16).
+    pub fn capacity(mut self, c: usize) -> Self {
+        self.opts.capacity = c;
+        self
+    }
+    /// Checkpoint / log directory. Required for every durability mode but
+    /// [`Durability::None`] (no default).
+    pub fn dir(mut self, d: impl Into<PathBuf>) -> Self {
+        self.opts.dir = Some(d.into());
+        self
+    }
+    /// Maximum concurrently open sessions (default 64).
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.opts.max_sessions = n;
+        self
+    }
+    /// Ops between epoch refreshes — the `k` of paper Alg. 1 (default 64).
+    pub fn refresh_every(mut self, k: u64) -> Self {
+        self.opts.refresh_every = k;
+        self
+    }
+    /// Collect the Fig. 10e time breakdown (default off; adds two
+    /// `Instant` reads per transaction segment).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.opts.profile = on;
+        self
+    }
+    /// WAL ring capacity in bytes, power of two (default 64 MiB).
+    pub fn wal_capacity(mut self, bytes: u64) -> Self {
+        self.opts.wal_capacity = bytes;
+        self
+    }
+    /// WAL group-commit window (default 5 ms).
+    pub fn group_commit(mut self, d: Duration) -> Self {
+        self.opts.group_commit = d;
+        self
+    }
+    /// CALC commit-log ring capacity in entries (default 2^20).
+    pub fn commit_log_capacity(mut self, entries: usize) -> Self {
+        self.opts.commit_log_capacity = entries;
+        self
+    }
+    /// Incremental CPR checkpoints — capture only records modified since
+    /// the previous commit (default off; the first commit is always full).
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.opts.incremental = on;
+        self
+    }
+    /// Fault injector applied to checkpoint-store writes (CPR/CALC) and
+    /// WAL flushes (default none).
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.opts.fault = Some(injector);
+        self
+    }
+    /// Enable the session liveness watchdog (default off).
+    pub fn liveness(mut self, cfg: LivenessConfig) -> Self {
+        self.opts.liveness = Some(cfg);
+        self
+    }
+    /// Metrics registry (default: the no-op sink, which keeps hot paths
+    /// free of timing calls). Pass [`cpr_metrics::Registry::new`] to
+    /// collect counters, latency histograms, and checkpoint timelines.
+    pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.opts.metrics = registry;
+        self
+    }
+    /// Escape hatch: the underlying [`MemDbOptions`].
+    pub fn options(self) -> MemDbOptions {
+        self.opts
+    }
+    /// Open a fresh database.
+    pub fn open(self) -> io::Result<MemDb<V>> {
+        MemDb::open_at_version(self.opts, 1)
+    }
+    /// Recover from the newest committed checkpoint (CPR/CALC) or by
+    /// replaying the redo log (WAL). Returns the manifest used, if any.
+    pub fn recover(self) -> io::Result<(MemDb<V>, Option<CheckpointManifest>)> {
+        MemDb::recover_inner(self.opts)
     }
 }
 
@@ -179,7 +317,18 @@ impl<V: DbValue> Clone for MemDb<V> {
 }
 
 impl<V: DbValue> MemDb<V> {
+    /// Start building a database with the given durability backend.
+    ///
+    /// See [`MemDbBuilder`] for the available settings and defaults.
+    pub fn builder(durability: Durability) -> MemDbBuilder<V> {
+        MemDbBuilder {
+            opts: MemDbOptions::defaults(durability),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// Open a fresh database.
+    #[deprecated(since = "0.2.0", note = "use `MemDb::builder(durability)…open()` instead")]
     pub fn open(opts: MemDbOptions) -> io::Result<Self> {
         Self::open_at_version(opts, 1)
     }
@@ -187,7 +336,8 @@ impl<V: DbValue> MemDb<V> {
     fn open_at_version(opts: MemDbOptions, version: u64) -> io::Result<Self> {
         let store = match (&opts.durability, &opts.dir) {
             (Durability::Cpr | Durability::Calc, Some(dir)) => {
-                Some(CheckpointStore::open_with(dir, opts.fault.clone())?)
+                let store = CheckpointStore::open_with(dir, opts.fault.clone())?;
+                Some(store.with_metrics(Arc::clone(&opts.metrics)))
             }
             (Durability::Cpr | Durability::Calc, None) => {
                 return Err(io::Error::new(
@@ -242,6 +392,10 @@ impl<V: DbValue> MemDb<V> {
             opts,
         });
 
+        if inner.opts.metrics.is_enabled() {
+            inner.epoch.set_metrics(Arc::clone(&inner.opts.metrics));
+        }
+
         if inner.store.is_some() {
             let (tx, rx) = crossbeam::channel::unbounded::<u64>();
             // Weak: the capture thread must not keep the database alive.
@@ -272,7 +426,15 @@ impl<V: DbValue> MemDb<V> {
 
     /// Recover from the newest committed checkpoint (CPR/CALC) or by
     /// replaying the redo log (WAL). Returns the manifest used, if any.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MemDb::builder(durability)…recover()` instead"
+    )]
     pub fn recover(opts: MemDbOptions) -> io::Result<(Self, Option<CheckpointManifest>)> {
+        Self::recover_inner(opts)
+    }
+
+    fn recover_inner(opts: MemDbOptions) -> io::Result<(Self, Option<CheckpointManifest>)> {
         match opts.durability {
             Durability::Cpr | Durability::Calc => {
                 let dir = opts.dir.clone().ok_or_else(|| {
@@ -282,7 +444,7 @@ impl<V: DbValue> MemDb<V> {
                 let Some(manifest) =
                     store.latest_matching(|m| m.kind == CheckpointKind::Database)?
                 else {
-                    return Ok((Self::open(opts)?, None));
+                    return Ok((Self::open_at_version(opts, 1)?, None));
                 };
                 // Collect the delta chain back to its full base, then
                 // apply it oldest → newest.
@@ -304,13 +466,13 @@ impl<V: DbValue> MemDb<V> {
                 // Collect existing generations *before* opening (which
                 // creates the next generation's file).
                 let gens = wal_generations(&dir)?;
-                let db = Self::open(opts)?;
+                let db = Self::open_at_version(opts, 1)?;
                 for gen in gens {
                     checkpoint::replay_wal(&db.inner, &dir.join(format!("wal.{gen}.log")))?;
                 }
                 Ok((db, None))
             }
-            Durability::None => Ok((Self::open(opts)?, None)),
+            Durability::None => Ok((Self::open_at_version(opts, 1)?, None)),
         }
     }
 
@@ -403,9 +565,10 @@ impl<V: DbValue> MemDb<V> {
         }
     }
 
-    /// Version of the newest durable checkpoint (0 = none yet).
-    pub fn committed_version(&self) -> u64 {
-        self.inner.committed_version.load(Ordering::Acquire)
+    /// Version of the newest durable checkpoint
+    /// ([`CheckpointVersion::NONE`] = none yet).
+    pub fn committed_version(&self) -> CheckpointVersion {
+        CheckpointVersion(self.inner.committed_version.load(Ordering::Acquire))
     }
 
     /// Number of checkpoint attempts that failed on I/O and were aborted
@@ -422,7 +585,8 @@ impl<V: DbValue> MemDb<V> {
     /// Block until the checkpoint of `version` is durable. Requires
     /// worker sessions to keep refreshing (or none to be registered).
     /// Returns `false` on timeout.
-    pub fn wait_for_version(&self, version: u64, timeout: Duration) -> bool {
+    pub fn wait_for_version(&self, version: impl Into<CheckpointVersion>, timeout: Duration) -> bool {
+        let version = version.into();
         let deadline = Instant::now() + timeout;
         let mut g = self.inner.commit_lock.lock();
         while self.committed_version() < version {
@@ -473,7 +637,7 @@ impl<V: DbValue> MemDb<V> {
             if gave_up || Instant::now() >= deadline {
                 let (phase, _) = self.inner.state.load();
                 return Err(CommitError::TimedOut {
-                    version: v,
+                    version: v.into(),
                     phase,
                     blockers: self.straggler_guids(),
                 });
@@ -534,6 +698,31 @@ impl<V: DbValue> MemDb<V> {
     pub fn wal_durable_bytes(&self) -> Option<u64> {
         self.inner.wal.as_ref().map(|w| w.durable())
     }
+
+    /// Snapshot of the metrics registry this database reports into:
+    /// operation counters and commit-latency percentiles, checkpoint
+    /// phase timelines, epoch drain latencies, and storage totals.
+    ///
+    /// Meaningful only when the database was built with an enabled
+    /// [`cpr_metrics::Registry`]; with the default no-op sink the report
+    /// is empty and flagged `enabled: false`.
+    pub fn metrics_snapshot(&self) -> MetricsReport {
+        let mut report = self.inner.opts.metrics.snapshot();
+        if let Some(injector) = &self.inner.opts.fault {
+            report.storage.faults_injected = injector.fault_hits();
+        }
+        report
+    }
+}
+
+/// Checkpoint-kind label used by the metrics phase tracer.
+pub(crate) fn ckpt_kind_label<V: DbValue>(inner: &DbInner<V>) -> &'static str {
+    match (inner.opts.durability, inner.opts.incremental) {
+        (Durability::Cpr, true) => "cpr-incremental",
+        (Durability::Cpr, false) => "cpr",
+        (Durability::Calc, _) => "calc",
+        _ => "wal",
+    }
 }
 
 /// Kick off the CPR/CALC commit state machine at the current version.
@@ -543,9 +732,21 @@ pub(crate) fn start_commit<V: DbValue>(inner: &Arc<DbInner<V>>) -> bool {
     if !inner.state.transition((Phase::Rest, v), (Phase::Prepare, v)) {
         return false;
     }
+    let metrics_on = inner.opts.metrics.is_enabled();
+    if metrics_on {
+        inner.opts.metrics.checkpoints.begin(v, ckpt_kind_label(inner));
+    }
     let cond = {
         let inner = Arc::clone(inner);
-        move || inner.registry.all_at_least(Phase::Prepare, v)
+        move || {
+            let ready = inner.registry.all_at_least(Phase::Prepare, v);
+            if !ready && metrics_on {
+                if let Some((_, guid)) = inner.registry.first_blocker(Phase::Prepare, v) {
+                    inner.opts.metrics.checkpoints.note_blocker(guid);
+                }
+            }
+            ready
+        }
     };
     let action = {
         let inner = Arc::clone(inner);
@@ -567,9 +768,21 @@ fn prepare_to_inprog<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
     {
         return;
     }
+    let metrics_on = inner.opts.metrics.is_enabled();
+    if metrics_on {
+        inner.opts.metrics.checkpoints.mark(v, "in-progress");
+    }
     let epoch = Arc::clone(&inner.epoch);
     let cond_inner = Arc::clone(&inner);
-    let cond = move || cond_inner.registry.all_at_least(Phase::InProgress, v);
+    let cond = move || {
+        let ready = cond_inner.registry.all_at_least(Phase::InProgress, v);
+        if !ready && metrics_on {
+            if let Some((_, guid)) = cond_inner.registry.first_blocker(Phase::InProgress, v) {
+                cond_inner.opts.metrics.checkpoints.note_blocker(guid);
+            }
+        }
+        ready
+    };
     let action = move || inprog_to_waitflush(inner, v);
     epoch.bump_epoch(Some(Box::new(cond)), Box::new(action));
 }
@@ -580,6 +793,9 @@ fn inprog_to_waitflush<V: DbValue>(inner: Arc<DbInner<V>>, v: u64) {
         .transition((Phase::InProgress, v), (Phase::WaitFlush, v))
     {
         return; // checkpoint aborted by the watchdog
+    }
+    if inner.opts.metrics.is_enabled() {
+        inner.opts.metrics.checkpoints.mark(v, "wait-flush");
     }
     if let Some(tx) = inner.capture_tx.lock().as_ref() {
         tx.send(v).expect("capture thread alive");

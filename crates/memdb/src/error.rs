@@ -1,11 +1,12 @@
 //! Transaction abort and commit error reasons.
 
-use cpr_core::{Phase, SessionId};
+use cpr_core::{CheckpointVersion, Phase, SessionId};
 
 /// Why a transaction aborted. The executor never blocks: under No-Wait
 /// 2PL every conflict is an immediate abort, and during a CPR commit a
 /// thread may abort at most one transaction per commit (paper Sec. 4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Abort {
     /// Lock conflict (No-Wait): retry later.
     Conflict,
@@ -34,6 +35,7 @@ impl std::error::Error for Abort {}
 
 /// Why a requested commit did not (or could not) complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CommitError {
     /// A commit was already in flight (or durability is off).
     NotStarted,
@@ -41,7 +43,7 @@ pub enum CommitError {
     /// holding the current phase back at the time of the timeout — the
     /// stragglers a caller would investigate or tear down.
     TimedOut {
-        version: u64,
+        version: CheckpointVersion,
         phase: Phase,
         blockers: Vec<SessionId>,
     },
@@ -57,7 +59,7 @@ impl std::fmt::Display for CommitError {
                 blockers,
             } => write!(
                 f,
-                "commit of version {version} timed out in phase {phase:?}; blockers: {blockers:?}"
+                "commit of {version} timed out in phase {phase}; blockers: {blockers:?}"
             ),
         }
     }

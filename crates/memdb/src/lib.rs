@@ -14,11 +14,13 @@
 //!
 //! # Quickstart
 //! ```
-//! use cpr_memdb::{Access, Durability, MemDb, MemDbOptions, TxnRequest};
+//! use cpr_memdb::{Access, Durability, MemDb, TxnRequest};
 //!
 //! let dir = tempfile::tempdir().unwrap();
-//! let db: MemDb<u64> =
-//!     MemDb::open(MemDbOptions::new(Durability::Cpr).dir(dir.path())).unwrap();
+//! let db: MemDb<u64> = MemDb::builder(Durability::Cpr)
+//!     .dir(dir.path())
+//!     .open()
+//!     .unwrap();
 //! db.load(1, 10);
 //! db.load(2, 20);
 //!
@@ -57,8 +59,8 @@ pub use client::{Access, Session, TxnRequest};
 pub use cpr_core::liveness::{
     Clock, CommitOutcome, LivenessConfig, SessionStatus, SystemClock, VirtualClock,
 };
-pub use cpr_core::NoWaitLock;
-pub use db::{Durability, MemDb, MemDbOptions};
+pub use cpr_core::{CheckpointVersion, NoWaitLock, SessionInfo};
+pub use db::{Durability, MemDb, MemDbBuilder, MemDbOptions};
 pub use error::{Abort, CommitError};
 pub use record::Record;
 pub use stats::ClientStats;

@@ -190,6 +190,18 @@ fn abort_checkpoint<V: DbValue>(
     }
     let mut out = db.outcome.lock();
     out.aborted += 1;
+    if matches!(phase, Phase::Prepare | Phase::InProgress) && db.opts.metrics.is_enabled() {
+        // The capture thread never runs for this attempt, so close the
+        // tracer's timeline here (WaitFlush aborts end via the capture
+        // thread's failure path).
+        db.opts.metrics.checkpoints.end(
+            v,
+            false,
+            out.attempts as u64,
+            out.proxy_advanced.len() as u64,
+            out.evicted.len() as u64,
+        );
+    }
     if out.attempts >= cfg.max_attempts {
         out.gave_up = true;
         *retry_at = None;

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cpr_memdb::{Access, Durability, MemDb, MemDbOptions};
+use cpr_memdb::{Access, Durability, MemDb};
 
 const KEYS_PER_SESSION: u64 = 16;
 
@@ -26,14 +26,14 @@ fn decode(v: u64) -> (u64, u64) {
 fn concurrent_commit_recovers_exact_prefix_per_session() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(1 << 10)
             .refresh_every(8)
     };
     const SESSIONS: u64 = 4;
 
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     for g in 0..SESSIONS {
         for k in 0..KEYS_PER_SESSION {
             db.load(g * KEYS_PER_SESSION + k, encode(g, 0));
@@ -85,7 +85,7 @@ fn concurrent_commit_recovers_exact_prefix_per_session() {
     }
     drop(db); // crash
 
-    let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, manifest) = opts().recover().unwrap();
     let manifest = manifest.expect("one checkpoint committed");
     assert_eq!(manifest.version, 1);
     assert_eq!(manifest.sessions.len() as u64, SESSIONS);
@@ -120,7 +120,7 @@ fn concurrent_commit_recovers_exact_prefix_per_session() {
 fn shared_keys_recover_only_pre_point_writes() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(64)
             .refresh_every(4)
@@ -128,7 +128,7 @@ fn shared_keys_recover_only_pre_point_writes() {
     const SESSIONS: u64 = 3;
     const HOT_KEYS: u64 = 4;
 
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     for k in 0..HOT_KEYS {
         db.load(k, encode(7, 0)); // sentinel guid 7
     }
@@ -171,7 +171,7 @@ fn shared_keys_recover_only_pre_point_writes() {
     }
     drop(db);
 
-    let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, manifest) = opts().recover().unwrap();
     let manifest = manifest.unwrap();
     for k in 0..HOT_KEYS {
         let (g, s) = decode(db2.read(k).unwrap());
@@ -193,12 +193,12 @@ fn shared_keys_recover_only_pre_point_writes() {
 fn multiple_sequential_commits() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(64)
             .refresh_every(2)
     };
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     db.load(0, 0);
     let mut s = db.session(1);
     let mut reads = Vec::new();
@@ -221,7 +221,7 @@ fn multiple_sequential_commits() {
     drop(s);
     drop(db);
 
-    let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, manifest) = opts().recover().unwrap();
     assert_eq!(manifest.unwrap().version, 3);
     assert_eq!(db2.read(0), Some(300));
 }
@@ -232,17 +232,17 @@ fn multiple_sequential_commits() {
 fn commit_with_no_sessions_completes() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(64)
     };
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     db.load(1, 11);
     db.load(2, 22);
     db.commit_and_wait(Duration::from_secs(10)).unwrap();
     drop(db);
 
-    let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, manifest) = opts().recover().unwrap();
     assert_eq!(manifest.unwrap().records, Some(2));
     assert_eq!(db2.read(1), Some(11));
     assert_eq!(db2.read(2), Some(22));
@@ -254,12 +254,12 @@ fn commit_with_no_sessions_completes() {
 fn post_point_inserts_are_not_recovered() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(256)
             .refresh_every(1) // refresh every txn: adopt phases promptly
     };
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     let mut s = db.session(0);
     let mut reads = Vec::new();
 
@@ -293,7 +293,7 @@ fn post_point_inserts_are_not_recovered() {
     drop(s);
     drop(db);
 
-    let (db2, _) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, _) = opts().recover().unwrap();
     for k in 0..50u64 {
         assert_eq!(db2.read(k), Some(k + 1000), "pre-point insert lost");
     }
@@ -308,12 +308,12 @@ fn post_point_inserts_are_not_recovered() {
 fn calc_checkpoint_recovers_and_logs_every_commit() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Calc)
+        MemDb::builder(Durability::Calc)
             .dir(dir.path())
             .capacity(64)
             .refresh_every(2)
     };
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     for k in 0..8u64 {
         db.load(k, 0);
     }
@@ -336,7 +336,7 @@ fn calc_checkpoint_recovers_and_logs_every_commit() {
     drop(s);
     drop(db);
 
-    let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, manifest) = opts().recover().unwrap();
     assert!(manifest.is_some());
     for k in 0..8u64 {
         // Last write to key k was serial 24+k+1... writes hit key i%8 with
@@ -350,12 +350,12 @@ fn calc_checkpoint_recovers_and_logs_every_commit() {
 fn wal_replay_recovers_synced_writes() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Wal)
+        MemDb::builder(Durability::Wal)
             .dir(dir.path())
             .capacity(64)
             .group_commit(Duration::from_millis(1))
     };
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     for k in 0..4u64 {
         db.load(k, 0);
     }
@@ -376,7 +376,7 @@ fn wal_replay_recovers_synced_writes() {
     drop(s);
     drop(db);
 
-    let (db2, _) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, _) = opts().recover().unwrap();
     for k in 0..4u64 {
         let last_i = 96 + k; // last i with i%4==k in 0..100
         assert_eq!(db2.read(k), Some(last_i + 1), "key {k}");
@@ -385,7 +385,7 @@ fn wal_replay_recovers_synced_writes() {
     // Recovery again (second crash) must still see the data via the old
     // generations even though a new generation file was created.
     drop(db2);
-    let (db3, _) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db3, _) = opts().recover().unwrap();
     assert_eq!(db3.read(0), Some(97));
 }
 
@@ -395,14 +395,14 @@ fn wal_replay_recovers_synced_writes() {
 fn multi_key_txn_atomicity_across_recovery() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(256)
             .refresh_every(4)
     };
     const PAIRS: u64 = 8;
 
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     for k in 0..PAIRS * 2 {
         db.load(k, 0);
     }
@@ -439,7 +439,7 @@ fn multi_key_txn_atomicity_across_recovery() {
     writer.join().unwrap();
     drop(db);
 
-    let (db2, _) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, _) = opts().recover().unwrap();
     for pair in 0..PAIRS {
         let a = db2.read(2 * pair).unwrap();
         let b = db2.read(2 * pair + 1).unwrap();
@@ -452,17 +452,17 @@ fn multi_key_txn_atomicity_across_recovery() {
 fn wide_values_roundtrip_through_checkpoint() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(64)
     };
-    let db: MemDb<[u64; 8]> = MemDb::open(opts()).unwrap();
+    let db: MemDb<[u64; 8]> = opts().open().unwrap();
     for k in 0..10u64 {
         db.load(k, <[u64; 8] as cpr_memdb::DbValue>::from_seed(k * 7));
     }
     db.commit_and_wait(Duration::from_secs(10)).unwrap();
     drop(db);
-    let (db2, _) = MemDb::<[u64; 8]>::recover(opts()).unwrap();
+    let (db2, _) = opts().recover().unwrap();
     for k in 0..10u64 {
         let v = db2.read(k).unwrap();
         assert_eq!(v, <[u64; 8] as cpr_memdb::DbValue>::from_seed(k * 7));
@@ -475,13 +475,13 @@ fn wide_values_roundtrip_through_checkpoint() {
 fn incremental_checkpoints_capture_deltas_and_recover() {
     let dir = tempfile::tempdir().unwrap();
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(256)
             .refresh_every(2)
             .incremental(true)
     };
-    let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+    let db: MemDb<u64> = opts().open().unwrap();
     let mut s = db.session(0);
     let mut reads = Vec::new();
     let mut write = |s: &mut cpr_memdb::Session<u64>, k: u64, v: u64| {
@@ -539,7 +539,7 @@ fn incremental_checkpoints_capture_deltas_and_recover() {
     assert_eq!(m3.records, Some(1), "delta 2 captures a single key");
 
     // Recovery applies the chain and lands on the newest values.
-    let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+    let (db2, manifest) = opts().recover().unwrap();
     assert_eq!(manifest.unwrap().version, 3);
     for k in 0..10u64 {
         assert_eq!(db2.read(k), Some(1000 + k), "delta-1 key {k}");
@@ -557,7 +557,7 @@ fn incremental_checkpoints_capture_deltas_and_recover() {
 #[test]
 fn incremental_equals_full_recovery() {
     let mk = |dir: &std::path::Path, inc: bool| {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir)
             .capacity(128)
             .refresh_every(2)
@@ -567,7 +567,7 @@ fn incremental_equals_full_recovery() {
     let dir_b = tempfile::tempdir().unwrap();
 
     for (dir, inc) in [(&dir_a, true), (&dir_b, false)] {
-        let db: MemDb<u64> = MemDb::open(mk(dir.path(), inc)).unwrap();
+        let db: MemDb<u64> = mk(dir.path(), inc).open().unwrap();
         let mut s = db.session(0);
         let mut reads = Vec::new();
         let mut x = 7u64;
@@ -591,8 +591,8 @@ fn incremental_equals_full_recovery() {
         }
     }
 
-    let (a, _) = MemDb::<u64>::recover(mk(dir_a.path(), true)).unwrap();
-    let (b, _) = MemDb::<u64>::recover(mk(dir_b.path(), false)).unwrap();
+    let (a, _) = mk(dir_a.path(), true).recover().unwrap();
+    let (b, _) = mk(dir_b.path(), false).recover().unwrap();
     for k in 0..32u64 {
         assert_eq!(a.read(k), b.read(k), "key {k}: incremental vs full differ");
     }

@@ -8,15 +8,15 @@
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use cpr_memdb::{
-    Abort, Access, CommitError, Durability, LivenessConfig, MemDb, MemDbOptions, TxnRequest,
+use cpr_memdb::{MemDbBuilder, 
+    Abort, Access, CommitError, Durability, LivenessConfig, MemDb, TxnRequest,
     VirtualClock,
 };
 
 const GRACE: u64 = 100;
 
-fn liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> MemDbOptions {
-    MemDbOptions::new(Durability::Cpr)
+fn liveness_opts(dir: &std::path::Path, clock: &Arc<VirtualClock>) -> MemDbBuilder<u64> {
+    MemDb::builder(Durability::Cpr)
         .dir(dir)
         .capacity(1 << 10)
         .refresh_every(4)
@@ -63,7 +63,7 @@ fn drive_until_committed(db: &MemDb<u64>, a: &mut cpr_memdb::Session<u64>, clock
 fn idle_straggler_is_proxy_advanced() {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let db: MemDb<u64> = MemDb::open(liveness_opts(dir.path(), &clock)).unwrap();
+    let db: MemDb<u64> = liveness_opts(dir.path(), &clock).open().unwrap();
     for k in 0..70u64 {
         db.load(k, 0);
     }
@@ -103,7 +103,7 @@ fn idle_straggler_is_proxy_advanced() {
 
     drop(a);
     drop(db);
-    let (db2, _) = MemDb::<u64>::recover(liveness_opts(dir.path(), &clock)).unwrap();
+    let (db2, _) = liveness_opts(dir.path(), &clock).recover().unwrap();
     for k in 10..15u64 {
         assert_eq!(db2.read(k), Some(1000 + k), "straggler prefix lost");
     }
@@ -118,7 +118,7 @@ fn idle_straggler_is_proxy_advanced() {
 fn mid_txn_straggler_is_evicted_with_exact_prefix() {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let db: MemDb<u64> = MemDb::open(liveness_opts(dir.path(), &clock)).unwrap();
+    let db: MemDb<u64> = liveness_opts(dir.path(), &clock).open().unwrap();
     for k in 0..70u64 {
         db.load(k, 0);
     }
@@ -164,7 +164,7 @@ fn mid_txn_straggler_is_evicted_with_exact_prefix() {
 
     drop(a);
     drop(db);
-    let (db2, _) = MemDb::<u64>::recover(liveness_opts(dir.path(), &clock)).unwrap();
+    let (db2, _) = liveness_opts(dir.path(), &clock).recover().unwrap();
     for i in 0..5u64 {
         assert_eq!(db2.read(60 + i), Some(600 + i), "committed prefix lost");
     }
@@ -179,7 +179,7 @@ fn mid_txn_straggler_is_evicted_with_exact_prefix() {
 fn locked_straggler_aborts_then_retry_succeeds() {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let db: MemDb<u64> = MemDb::open(liveness_opts(dir.path(), &clock)).unwrap();
+    let db: MemDb<u64> = liveness_opts(dir.path(), &clock).open().unwrap();
     for k in 0..80u64 {
         db.load(k, 0);
     }
@@ -236,7 +236,7 @@ fn locked_straggler_aborts_then_retry_succeeds() {
 
     drop(a);
     drop(db);
-    let (db2, _) = MemDb::<u64>::recover(liveness_opts(dir.path(), &clock)).unwrap();
+    let (db2, _) = liveness_opts(dir.path(), &clock).recover().unwrap();
     assert_eq!(db2.read(70), Some(700), "straggler's completed write lost");
 }
 
@@ -247,7 +247,7 @@ fn locked_straggler_aborts_then_retry_succeeds() {
 fn permanent_lock_straggler_exhausts_attempts_and_names_blocker() {
     let dir = tempfile::tempdir().unwrap();
     let clock = Arc::new(VirtualClock::new());
-    let opts = MemDbOptions::new(Durability::Cpr)
+    let opts = MemDb::builder(Durability::Cpr)
         .dir(dir.path())
         .capacity(1 << 10)
         .refresh_every(4)
@@ -259,7 +259,7 @@ fn permanent_lock_straggler_exhausts_attempts_and_names_blocker() {
                 .max_attempts(2)
                 .seed(42),
         );
-    let db: MemDb<u64> = MemDb::open(opts).unwrap();
+    let db: MemDb<u64> = opts.open().unwrap();
     for k in 0..80u64 {
         db.load(k, 0);
     }
@@ -317,7 +317,7 @@ fn permanent_lock_straggler_exhausts_attempts_and_names_blocker() {
                 "timeout must name the dead session, got {blockers:?}"
             );
         }
-        CommitError::NotStarted => panic!("commit was never started"),
+        other => panic!("expected TimedOut, got {other:?}"),
     }
     let out = db.last_commit_outcome();
     assert!(out.gave_up, "outcome must record exhaustion: {out:?}");

@@ -4,12 +4,12 @@
 
 use std::time::Duration;
 
-use cpr_memdb::{Abort, Access, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr_memdb::{MemDbBuilder, Abort, Access, Durability, MemDb, TxnRequest};
 use cpr_workload::tpcc::{TpccConfig, TpccGenerator};
 use cpr_workload::txn::AccessType;
 
-fn cpr_opts(dir: &std::path::Path) -> MemDbOptions {
-    MemDbOptions::new(Durability::Cpr)
+fn cpr_opts(dir: &std::path::Path) -> MemDbBuilder<u64> {
+    MemDb::builder(Durability::Cpr)
         .dir(dir)
         .capacity(1 << 10)
         .refresh_every(4)
@@ -19,7 +19,7 @@ fn cpr_opts(dir: &std::path::Path) -> MemDbOptions {
 fn truncated_checkpoint_data_is_a_recovery_error() {
     let dir = tempfile::tempdir().unwrap();
     {
-        let db: MemDb<u64> = MemDb::open(cpr_opts(dir.path())).unwrap();
+        let db: MemDb<u64> = cpr_opts(dir.path()).open().unwrap();
         for k in 0..50u64 {
             db.load(k, k);
         }
@@ -32,7 +32,7 @@ fn truncated_checkpoint_data_is_a_recovery_error() {
     let data = std::fs::read(&path).unwrap();
     std::fs::write(&path, &data[..data.len() / 2]).unwrap();
     assert!(
-        MemDb::<u64>::recover(cpr_opts(dir.path())).is_err(),
+        cpr_opts(dir.path()).recover().is_err(),
         "truncated checkpoint must not recover silently"
     );
 }
@@ -40,7 +40,7 @@ fn truncated_checkpoint_data_is_a_recovery_error() {
 #[test]
 fn second_commit_request_while_in_flight_is_rejected() {
     let dir = tempfile::tempdir().unwrap();
-    let db: MemDb<u64> = MemDb::open(cpr_opts(dir.path())).unwrap();
+    let db: MemDb<u64> = cpr_opts(dir.path()).open().unwrap();
     db.load(0, 0);
     let mut s = db.session(0);
     assert!(db.request_commit());
@@ -64,7 +64,7 @@ fn second_commit_request_while_in_flight_is_rejected() {
 #[test]
 fn read_only_txns_during_commit_stay_consistent() {
     let dir = tempfile::tempdir().unwrap();
-    let db: MemDb<u64> = MemDb::open(cpr_opts(dir.path())).unwrap();
+    let db: MemDb<u64> = cpr_opts(dir.path()).open().unwrap();
     for k in 0..8u64 {
         db.load(k, 100 + k);
     }
@@ -88,7 +88,7 @@ fn read_only_txns_during_commit_stay_consistent() {
             }
             Err(Abort::CprShift) => {} // retried next loop in the new phase
             Err(Abort::Conflict) => {}
-            Err(Abort::SessionEvicted) => unreachable!("no watchdog configured"),
+            Err(other) => unreachable!("unexpected abort without a watchdog: {other:?}"),
         }
         iterations += 1;
         if iterations % 16 == 0 {
@@ -98,7 +98,7 @@ fn read_only_txns_during_commit_stay_consistent() {
     }
     drop(s);
     drop(db);
-    let (db2, _) = MemDb::<u64>::recover(cpr_opts(dir.path())).unwrap();
+    let (db2, _) = cpr_opts(dir.path()).recover().unwrap();
     for k in 0..8u64 {
         assert_eq!(db2.read(k), Some(100 + k));
     }
@@ -113,7 +113,7 @@ fn tpcc_lite_commit_and_recover() {
     let dir = tempfile::tempdir().unwrap();
     let warehouses = 2;
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(400_000)
             .refresh_every(8)
@@ -123,7 +123,7 @@ fn tpcc_lite_commit_and_recover() {
     let mut committed_orders: Vec<u64> = Vec::new();
 
     {
-        let db: MemDb<[u64; 4]> = MemDb::open(opts()).unwrap();
+        let db: MemDb<[u64; 4]> = opts().open().unwrap();
         for k in cfg.preload_keys() {
             db.load(k, [0, 0, 0, 0]);
         }
@@ -190,7 +190,7 @@ fn tpcc_lite_commit_and_recover() {
         run_txns(&mut s, 200, false, &mut scratch_total, &mut scratch_orders);
     }
 
-    let (db2, _) = MemDb::<[u64; 4]>::recover(opts()).unwrap();
+    let (db2, _) = opts().recover().unwrap();
     let ytd_total: u64 = (0..warehouses)
         .map(|w| {
             db2.read(cpr_workload::tpcc::warehouse_key(w))
@@ -211,7 +211,7 @@ fn tpcc_lite_commit_and_recover() {
 /// Durability::None never writes anything and rejects commit requests.
 #[test]
 fn no_durability_mode_runs_without_a_directory() {
-    let db: MemDb<u64> = MemDb::open(MemDbOptions::new(Durability::None)).unwrap();
+    let db: MemDb<u64> = MemDb::builder(Durability::None).open().unwrap();
     db.load(1, 10);
     let mut s = db.session(0);
     let mut reads = Vec::new();
@@ -229,8 +229,8 @@ fn no_durability_mode_runs_without_a_directory() {
 /// Missing directory for a durable mode is an immediate open error.
 #[test]
 fn durable_modes_require_a_directory() {
-    assert!(MemDb::<u64>::open(MemDbOptions::new(Durability::Cpr)).is_err());
-    assert!(MemDb::<u64>::open(MemDbOptions::new(Durability::Wal)).is_err());
+    assert!(MemDb::<u64>::builder(Durability::Cpr).open().is_err());
+    assert!(MemDb::<u64>::builder(Durability::Wal).open().is_err());
 }
 
 /// Sessions outliving the database handle keep working (Arc-based
@@ -238,7 +238,7 @@ fn durable_modes_require_a_directory() {
 #[test]
 fn session_outlives_db_handle_and_merges_stats() {
     let dir = tempfile::tempdir().unwrap();
-    let db: MemDb<u64> = MemDb::open(cpr_opts(dir.path())).unwrap();
+    let db: MemDb<u64> = cpr_opts(dir.path()).open().unwrap();
     db.load(1, 1);
     let db2 = db.clone();
     let mut s = db.session(0);

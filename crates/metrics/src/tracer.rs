@@ -1,0 +1,274 @@
+//! The checkpoint phase tracer.
+//!
+//! One checkpoint at a time walks REST→PREPARE→IN-PROGRESS→
+//! (WAIT-PENDING)→WAIT-FLUSH→REST. The engine's coordinator calls
+//! [`PhaseTracer::begin`] when it leaves REST, [`PhaseTracer::mark`] at
+//! every later transition, and [`PhaseTracer::end`] when the system is
+//! back at REST (committed or aborted). The tracer turns the marks into
+//! a [`CheckpointTimeline`] — time spent in each phase, the watchdog's
+//! proxy-advance / eviction counts, and the slowest session observed
+//! blocking a transition — kept in a bounded ring of recent checkpoints.
+//!
+//! Checkpoints are rare (milliseconds apart at their fastest), so a
+//! `Mutex` is fine here; only [`PhaseTracer::note_blocker`] is callable
+//! from hot refresh paths and that is a single relaxed store.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// How many finished checkpoint timelines are retained.
+const RING: usize = 64;
+
+struct ActiveTrace {
+    version: u64,
+    kind: String,
+    started: Instant,
+    /// `(phase label, offset-from-start seconds)` per transition entered.
+    marks: Vec<(String, f64)>,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    active: Option<ActiveTrace>,
+    finished: VecDeque<CheckpointTimeline>,
+}
+
+/// Records per-checkpoint phase timelines. Disabled instances ignore all
+/// calls.
+pub struct PhaseTracer {
+    enabled: bool,
+    inner: Mutex<TracerInner>,
+    /// guid + 1 of the most recently observed straggler; 0 = none.
+    last_blocker: AtomicU64,
+}
+
+impl PhaseTracer {
+    pub fn new(enabled: bool) -> Self {
+        PhaseTracer {
+            enabled,
+            inner: Mutex::new(TracerInner::default()),
+            last_blocker: AtomicU64::new(0),
+        }
+    }
+
+    /// Start tracing checkpoint `version` (the coordinator just left
+    /// REST for PREPARE). `kind` labels the checkpoint flavor
+    /// (`"fold-over"`, `"snapshot"`, `"cpr"`, `"calc"`, …). If a trace
+    /// for an earlier version is still open (the engine aborted without
+    /// reaching its end hook), it is finalized as uncommitted.
+    pub fn begin(&self, version: u64, kind: &str) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(stale) = inner.active.take() {
+            let tl = finalize(stale, false, 0, 0, 0, None);
+            push(&mut inner.finished, tl);
+        }
+        inner.active = Some(ActiveTrace {
+            version,
+            kind: kind.to_string(),
+            started: Instant::now(),
+            marks: vec![("prepare".to_string(), 0.0)],
+        });
+        self.last_blocker.store(0, Ordering::Relaxed);
+    }
+
+    /// Record that checkpoint `version` entered `phase` now. Ignored if
+    /// no matching trace is open.
+    pub fn mark(&self, version: u64, phase: &str) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(t) = inner.active.as_mut() {
+            if t.version == version {
+                let off = t.started.elapsed().as_secs_f64();
+                t.marks.push((phase.to_string(), off));
+            }
+        }
+    }
+
+    /// Note a session observed blocking the in-flight transition (called
+    /// from trigger-condition evaluation; one relaxed store). The last
+    /// session noted before a transition fires is, to first order, the
+    /// slowest one.
+    #[inline]
+    pub fn note_blocker(&self, guid: u64) {
+        if self.enabled {
+            self.last_blocker.store(guid + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Finish the trace for `version`: the system is back at REST.
+    /// `committed` is false for aborted/timed-out checkpoints; the
+    /// remaining counts come from the engine's watchdog outcome.
+    pub fn end(
+        &self,
+        version: u64,
+        committed: bool,
+        attempts: u64,
+        proxy_advanced: u64,
+        evicted: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let Some(t) = inner.active.take() else { return };
+        if t.version != version {
+            inner.active = Some(t);
+            return;
+        }
+        let slowest = match self.last_blocker.swap(0, Ordering::Relaxed) {
+            0 => None,
+            g => Some(g - 1),
+        };
+        let tl = finalize(t, committed, attempts, proxy_advanced, evicted, slowest);
+        push(&mut inner.finished, tl);
+    }
+
+    /// Clone of the retained timelines, oldest first.
+    pub fn timelines(&self) -> Vec<CheckpointTimeline> {
+        self.inner.lock().finished.iter().cloned().collect()
+    }
+}
+
+fn push(ring: &mut VecDeque<CheckpointTimeline>, tl: CheckpointTimeline) {
+    if ring.len() == RING {
+        ring.pop_front();
+    }
+    ring.push_back(tl);
+}
+
+fn finalize(
+    t: ActiveTrace,
+    committed: bool,
+    attempts: u64,
+    proxy_advanced: u64,
+    evicted: u64,
+    slowest_session: Option<u64>,
+) -> CheckpointTimeline {
+    let total = t.started.elapsed().as_secs_f64();
+    let mut phases = Vec::with_capacity(t.marks.len());
+    for (i, (phase, enter)) in t.marks.iter().enumerate() {
+        let exit = t.marks.get(i + 1).map_or(total, |(_, off)| *off);
+        phases.push(PhaseSpan {
+            phase: phase.clone(),
+            enter_secs: *enter,
+            secs: (exit - enter).max(0.0),
+        });
+    }
+    CheckpointTimeline {
+        version: t.version,
+        kind: t.kind,
+        committed,
+        total_secs: total,
+        phases,
+        attempts,
+        proxy_advanced,
+        evicted,
+        slowest_session,
+    }
+}
+
+impl std::fmt::Debug for PhaseTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PhaseTracer")
+            .field("enabled", &self.enabled)
+            .field("active", &inner.active.as_ref().map(|t| t.version))
+            .field("finished", &inner.finished.len())
+            .finish()
+    }
+}
+
+/// Time spent in one phase of one checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase label (`"prepare"`, `"in-progress"`, `"wait-pending"`,
+    /// `"wait-flush"`).
+    pub phase: String,
+    /// Offset from the checkpoint's start, seconds.
+    pub enter_secs: f64,
+    /// Time spent in the phase, seconds.
+    pub secs: f64,
+}
+
+/// One checkpoint's complete REST→…→REST walk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointTimeline {
+    /// The CPR version this checkpoint attempted to commit.
+    pub version: u64,
+    /// Checkpoint flavor label.
+    pub kind: String,
+    /// False for aborted / timed-out attempts.
+    pub committed: bool,
+    /// Wall-clock from leaving REST to returning to REST, seconds.
+    pub total_secs: f64,
+    /// Per-phase spans, in transition order starting at `"prepare"`.
+    pub phases: Vec<PhaseSpan>,
+    /// Commit attempts recorded by the watchdog (0 when liveness
+    /// tracking is off or the engine does not report it).
+    pub attempts: u64,
+    /// Sessions the watchdog proxy-advanced during this checkpoint.
+    pub proxy_advanced: u64,
+    /// Sessions the watchdog evicted during this checkpoint.
+    pub evicted: u64,
+    /// Guid of the last session observed blocking a phase transition —
+    /// to first order, the slowest session.
+    pub slowest_session: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_walk_yields_complete_timeline() {
+        let t = PhaseTracer::new(true);
+        t.begin(1, "fold-over");
+        t.note_blocker(42);
+        t.mark(1, "in-progress");
+        t.mark(1, "wait-flush");
+        t.end(1, true, 1, 2, 3);
+        let tls = t.timelines();
+        assert_eq!(tls.len(), 1);
+        let tl = &tls[0];
+        assert_eq!(tl.version, 1);
+        assert!(tl.committed);
+        assert_eq!(tl.attempts, 1);
+        assert_eq!(tl.proxy_advanced, 2);
+        assert_eq!(tl.evicted, 3);
+        assert_eq!(tl.slowest_session, Some(42));
+        let names: Vec<&str> = tl.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(names, ["prepare", "in-progress", "wait-flush"]);
+        let span_sum: f64 = tl.phases.iter().map(|p| p.secs).sum();
+        assert!((span_sum - tl.total_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_trace_is_finalized_as_uncommitted() {
+        let t = PhaseTracer::new(true);
+        t.begin(1, "cpr");
+        t.begin(2, "cpr");
+        t.end(2, true, 0, 0, 0);
+        let tls = t.timelines();
+        assert_eq!(tls.len(), 2);
+        assert!(!tls[0].committed);
+        assert!(tls[1].committed);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = PhaseTracer::new(false);
+        t.begin(1, "cpr");
+        t.mark(1, "in-progress");
+        t.end(1, true, 0, 0, 0);
+        assert!(t.timelines().is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Concurrent-snapshot consistency: N writer threads hammer the
+//! registry while a reader snapshots mid-flight; after join the totals
+//! must be exact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cpr_metrics::Registry;
+
+const WRITERS: usize = 8;
+const OPS_PER_WRITER: u64 = 20_000;
+
+#[test]
+fn totals_are_exact_after_join() {
+    let reg = Registry::new();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Snapshotting reader: totals it sees mid-flight must never exceed
+    // the true final totals and must be internally consistent.
+    let reader = {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snaps = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let s = reg.snapshot();
+                assert!(s.ops.committed <= WRITERS as u64 * OPS_PER_WRITER);
+                assert!(s.ops.commit_latency.count <= s.ops.committed + WRITERS as u64);
+                assert!(s.ops.reads <= s.ops.committed.saturating_mul(3) + 3 * WRITERS as u64);
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_WRITER {
+                    reg.record_commit(Duration::from_nanos(100 + i % 1000), 3, 1);
+                    if i % 10 == w as u64 % 10 {
+                        reg.record_abort();
+                    }
+                    reg.epoch_bump(i % 7);
+                    reg.epoch_drained(Duration::from_nanos(50));
+                    reg.storage_write_issued(64);
+                    reg.storage_write_done(Duration::from_nanos(200));
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let snaps = reader.join().unwrap();
+    assert!(snaps > 0, "reader never snapshotted");
+
+    let total = WRITERS as u64 * OPS_PER_WRITER;
+    let s = reg.snapshot();
+    assert_eq!(s.ops.committed, total);
+    assert_eq!(s.ops.aborted, total / 10);
+    assert_eq!(s.ops.reads, total * 3);
+    assert_eq!(s.ops.writes, total);
+    assert_eq!(s.ops.commit_latency.count, total);
+    assert_eq!(s.epoch.bumps, total);
+    assert_eq!(s.epoch.drained, total);
+    assert_eq!(s.epoch.bump_to_drain.count, total);
+    assert_eq!(s.epoch.max_drain_depth, 6);
+    assert_eq!(s.storage.writes, total);
+    assert_eq!(s.storage.bytes_written, total * 64);
+    assert_eq!(s.storage.flush_latency.count, total);
+    assert!(s.storage.max_queue_depth >= 1);
+    assert!(s.ops.commit_latency.p50_ns >= 100);
+    assert!(s.ops.commit_latency.max_ns <= 1100);
+}

@@ -35,6 +35,7 @@ pub struct CheckpointStore {
     root: PathBuf,
     next_token: AtomicU64,
     injector: Option<Arc<FaultInjector>>,
+    metrics: Option<Arc<cpr_metrics::Registry>>,
 }
 
 impl CheckpointStore {
@@ -56,7 +57,18 @@ impl CheckpointStore {
             root,
             next_token: AtomicU64::new(max + 1),
             injector,
+            metrics: None,
         })
+    }
+
+    /// Attach a metrics registry: every checkpoint file write records
+    /// its byte count and write-to-durable latency. A disabled registry
+    /// keeps the write path unchanged.
+    pub fn with_metrics(mut self, metrics: Arc<cpr_metrics::Registry>) -> Self {
+        if metrics.is_enabled() {
+            self.metrics = Some(metrics);
+        }
+        self
     }
 
     /// Write one file's bytes, subject to fault injection. A `Torn`
@@ -65,6 +77,18 @@ impl CheckpointStore {
     /// verdicts leave no trace. Fault-free writes are atomic
     /// (temp + rename) and synced.
     fn write_injected(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let issued = self.metrics.as_ref().map(|m| {
+            m.storage_write_issued(data.len() as u64);
+            (m, std::time::Instant::now())
+        });
+        let res = self.write_injected_inner(path, data);
+        if let Some((m, t0)) = issued {
+            m.storage_write_done(t0.elapsed());
+        }
+        res
+    }
+
+    fn write_injected_inner(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         if let Some(inj) = &self.injector {
             match inj.next_io() {
                 IoVerdict::Ok => {}

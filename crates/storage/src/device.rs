@@ -19,9 +19,16 @@ pub struct IoHandle {
     inner: Arc<IoInner>,
 }
 
+/// Completion observer: receives the operation's success flag.
+type CompletionCallback = Box<dyn FnOnce(bool) + Send>;
+
 struct IoInner {
     state: Mutex<IoState>,
     cv: Condvar,
+    /// Callbacks fired (with the success flag) exactly once when the
+    /// operation completes. Registered via [`IoHandle::on_complete`];
+    /// used by metering decorators to observe completion latency.
+    callbacks: Mutex<Vec<CompletionCallback>>,
 }
 
 enum IoState {
@@ -38,6 +45,7 @@ impl IoHandle {
             inner: Arc::new(IoInner {
                 state: Mutex::new(IoState::Pending),
                 cv: Condvar::new(),
+                callbacks: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -49,11 +57,35 @@ impl IoHandle {
         h
     }
 
-    /// Complete the operation (wakes all waiters).
+    /// Complete the operation (wakes all waiters, fires callbacks).
     pub fn complete(&self, result: io::Result<()>) {
+        let ok = result.is_ok();
         let mut st = self.inner.state.lock();
         *st = IoState::Done(result.err().map(|e| e.to_string()));
         self.inner.cv.notify_all();
+        drop(st);
+        for cb in self.inner.callbacks.lock().drain(..) {
+            cb(ok);
+        }
+    }
+
+    /// Run `f(success)` when the operation completes — immediately if it
+    /// already has. Used by metering decorators to observe completion
+    /// latency and queue depth without wrapping the handle type.
+    pub fn on_complete(&self, f: impl FnOnce(bool) + Send + 'static) {
+        {
+            let st = self.inner.state.lock();
+            if matches!(*st, IoState::Pending) {
+                self.inner.callbacks.lock().push(Box::new(f));
+                return;
+            }
+        }
+        let ok = match &*self.inner.state.lock() {
+            IoState::Done(err) => err.is_none(),
+            IoState::Consumed(ok) => *ok,
+            IoState::Pending => unreachable!("pending handled above"),
+        };
+        f(ok);
     }
 
     /// True once the operation has completed (successfully or not).

@@ -152,6 +152,9 @@ pub struct FaultInjector {
     crash_at: AtomicU64,
     faults: Mutex<Vec<Fault>>,
     seed: u64,
+    /// Operations that drew a non-[`IoVerdict::Ok`] verdict — surfaced
+    /// as `faults_injected` in metrics reports.
+    hits: AtomicU64,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -186,6 +189,7 @@ impl FaultInjector {
             crash_at: AtomicU64::new(crash_at),
             faults: Mutex::new(faults),
             seed: plan.seed,
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -256,11 +260,13 @@ impl FaultInjector {
         let op = self.ops.fetch_add(1, Ordering::AcqRel);
         if self.crashed() || op >= self.crash_at.load(Ordering::Acquire) {
             self.crashed.store(true, Ordering::Release);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return IoVerdict::Crashed;
         }
         let mut faults = self.faults.lock();
         if let Some(i) = faults.iter().position(|f| f.op() == op) {
             let f = faults.remove(i);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return match f {
                 Fault::Fail { .. } => IoVerdict::Fail,
                 Fault::Torn { keep, .. } => IoVerdict::Torn { keep },
@@ -271,14 +277,27 @@ impl FaultInjector {
         IoVerdict::Ok
     }
 
-    /// The injected-error value for the current state (includes the seed
-    /// so a failing run can be replayed from its message).
+    /// Operations that drew a fault verdict so far (fail, torn, delay,
+    /// or crashed).
+    pub fn fault_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The typed injected-error value for the current state (includes
+    /// the seed so a failing run can be replayed from its message).
+    pub fn storage_error(&self) -> crate::StorageError {
+        let op = self.op_count().saturating_sub(1);
+        if self.crashed() {
+            crate::StorageError::Crashed { op, seed: self.seed }
+        } else {
+            crate::StorageError::Injected { op, seed: self.seed }
+        }
+    }
+
+    /// [`FaultInjector::storage_error`] converted for `io::Result`
+    /// plumbing.
     pub fn error(&self) -> io::Error {
-        io::Error::other(format!(
-            "injected fault at op {} (plan seed {:#018x})",
-            self.op_count().saturating_sub(1),
-            self.seed
-        ))
+        self.storage_error().into()
     }
 }
 

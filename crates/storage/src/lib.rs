@@ -19,8 +19,12 @@
 
 mod checkpoint;
 mod device;
+mod error;
 mod fault;
+mod metered;
 
 pub use checkpoint::CheckpointStore;
 pub use device::{Device, FileDevice, IoHandle, MemDevice};
+pub use error::StorageError;
 pub use fault::{Fault, FaultDevice, FaultInjector, FaultPlan, IoVerdict};
+pub use metered::MeteredDevice;

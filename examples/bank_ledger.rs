@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cpr::memdb::{Access, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr::memdb::{Access, Durability, MemDb, TxnRequest};
 
 const ACCOUNTS: u64 = 64;
 const INITIAL_BALANCE: u64 = 1_000;
@@ -20,14 +20,14 @@ const TELLERS: u64 = 4;
 fn main() {
     let dir = tempfile::tempdir().expect("tempdir");
     let opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(ACCOUNTS as usize * 2)
             .refresh_every(32)
     };
 
     {
-        let db: MemDb<u64> = MemDb::open(opts()).expect("open");
+        let db: MemDb<u64> = opts().open().expect("open");
         for a in 0..ACCOUNTS {
             db.load(a, INITIAL_BALANCE);
         }
@@ -108,7 +108,7 @@ fn main() {
         // <- crash (drop without further commits)
     }
 
-    let (db, manifest) = MemDb::<u64>::recover(opts()).expect("recover");
+    let (db, manifest) = opts().recover().expect("recover");
     let manifest = manifest.expect("committed checkpoint");
     println!(
         "recovered version {} with {} sessions' CPR points",

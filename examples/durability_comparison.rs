@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use cpr::memdb::{Access, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr::memdb::{Access, Durability, MemDb, TxnRequest};
 use cpr::workload::keys::KeyDist;
 use cpr::workload::txn::{TxnConfig, TxnGenerator};
 
@@ -18,11 +18,10 @@ const SECONDS: f64 = 1.0;
 
 fn run(system: Durability, name: &str) {
     let dir = tempfile::tempdir().expect("tempdir");
-    let db: MemDb<u64> = MemDb::open(
-        MemDbOptions::new(system)
+    let db: MemDb<u64> = MemDb::builder(system)
             .dir(dir.path())
-            .capacity(KEYS as usize * 2),
-    )
+            .capacity(KEYS as usize * 2)
+        .open()
     .expect("open");
     for k in 0..KEYS {
         db.load(k, k);

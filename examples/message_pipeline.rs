@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use cpr::faster::{CheckpointVariant, FasterKv, FasterOptions, ReadResult};
+use cpr::faster::{CheckpointVariant, FasterKv, FasterBuilder, ReadResult};
 
 /// A message: increment `key`'s counter by `delta`.
 #[derive(Debug, Clone, Copy)]
@@ -71,7 +71,7 @@ fn main() {
     // Phase 1: consume 30k messages, committing twice along the way.
     let crash_after = 30_000usize;
     {
-        let kv: FasterKv<u64> = FasterKv::open(FasterOptions::u64_sums(dir.path())).expect("open");
+        let kv: FasterKv<u64> = FasterBuilder::u64_sums(dir.path()).open().expect("open");
         let mut session = kv.start_session(1);
         let batch: Vec<Message> = input.messages[..crash_after].to_vec();
         for (i, msg) in batch.iter().enumerate() {
@@ -98,7 +98,7 @@ fn main() {
     }
 
     // Phase 2: recover and resume from the CPR point.
-    let (kv, _) = FasterKv::<u64>::recover(FasterOptions::u64_sums(dir.path())).expect("recover");
+    let (kv, _) = FasterBuilder::u64_sums(dir.path()).recover().expect("recover");
     let (mut session, cpr_point) = kv.continue_session(1);
     println!("recovered session to serial {cpr_point}; replaying the rest");
     assert!(

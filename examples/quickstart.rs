@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cpr::faster::{CheckpointVariant, FasterKv, FasterOptions, FasterSession, ReadResult};
+use cpr::faster::{CheckpointVariant, FasterKv, FasterBuilder, FasterSession, ReadResult};
 
 /// Post-recovery reads may go pending (records start disk-resident);
 /// resolve them synchronously for this demo.
@@ -35,7 +35,7 @@ fn main() {
     // ---- normal operation --------------------------------------------------
     {
         let kv: FasterKv<u64> =
-            FasterKv::open(FasterOptions::u64_sums(dir.path())).expect("open store");
+            FasterBuilder::u64_sums(dir.path()).open().expect("open store");
         let mut session = kv.start_session(/* guid */ 7);
 
         for k in 0..1000u64 {
@@ -69,7 +69,7 @@ fn main() {
 
     // ---- recovery ----------------------------------------------------------
     let (kv, manifest) =
-        FasterKv::<u64>::recover(FasterOptions::u64_sums(dir.path())).expect("recover");
+        FasterBuilder::u64_sums(dir.path()).recover().expect("recover");
     let manifest = manifest.expect("one committed checkpoint");
     println!(
         "recovered checkpoint: version {} kind {:?}",

@@ -19,7 +19,9 @@
 //! * [`memdb`] — the in-memory transactional database (CPR vs the CALC
 //!   and WAL baselines);
 //! * [`faster`] — the FASTER key-value store with CPR checkpoints and
-//!   recovery.
+//!   recovery;
+//! * [`metrics`] — the observability layer: op-latency histograms,
+//!   per-checkpoint phase timelines, epoch and storage instrumentation.
 //!
 //! Runnable examples live in `examples/`; the benchmark harness that
 //! regenerates every figure of the paper is the `cpr-bench` binary.
@@ -28,5 +30,6 @@ pub use cpr_core as core;
 pub use cpr_epoch as epoch;
 pub use cpr_faster as faster;
 pub use cpr_memdb as memdb;
+pub use cpr_metrics as metrics;
 pub use cpr_storage as storage;
 pub use cpr_workload as workload;

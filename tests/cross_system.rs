@@ -5,8 +5,8 @@
 
 use std::time::Duration;
 
-use cpr::faster::{CheckpointVariant, FasterKv, FasterOptions, HlogConfig, ReadResult};
-use cpr::memdb::{Access, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr::faster::{CheckpointVariant, FasterKv, FasterBuilder, HlogConfig, ReadResult};
+use cpr::memdb::{Access, Durability, MemDb, TxnRequest};
 use cpr::workload::keys::{KeyDist, Sampler};
 
 /// Deterministic single-key upsert history.
@@ -29,13 +29,13 @@ fn memdb_and_faster_agree_on_recovered_state() {
     // --- memdb ---
     let dir_db = tempfile::tempdir().unwrap();
     let db_opts = || {
-        MemDbOptions::new(Durability::Cpr)
+        MemDb::builder(Durability::Cpr)
             .dir(dir_db.path())
             .capacity(128)
             .refresh_every(8)
     };
     {
-        let db: MemDb<u64> = MemDb::open(db_opts()).unwrap();
+        let db: MemDb<u64> = db_opts().open().unwrap();
         let mut s = db.session(0);
         let mut reads = Vec::new();
         for (i, &(k, v)) in ops.iter().enumerate() {
@@ -55,22 +55,22 @@ fn memdb_and_faster_agree_on_recovered_state() {
             }
         }
     }
-    let (db2, _) = MemDb::<u64>::recover(db_opts()).unwrap();
+    let (db2, _) = db_opts().recover().unwrap();
 
     // --- faster ---
     let dir_kv = tempfile::tempdir().unwrap();
     let kv_opts = || {
-        FasterOptions::u64_sums(dir_kv.path())
-            .with_hlog(HlogConfig {
+        FasterBuilder::u64_sums(dir_kv.path())
+            .hlog(HlogConfig {
                 page_bits: 12,
                 memory_pages: 32,
                 mutable_pages: 16,
                 value_size: 8,
             })
-            .with_refresh_every(8)
+            .refresh_every(8)
     };
     {
-        let kv: FasterKv<u64> = FasterKv::open(kv_opts()).unwrap();
+        let kv: FasterKv<u64> = kv_opts().open().unwrap();
         let mut s = kv.start_session(0);
         for (i, &(k, v)) in ops.iter().enumerate() {
             s.upsert(k, v);
@@ -87,7 +87,7 @@ fn memdb_and_faster_agree_on_recovered_state() {
             }
         }
     }
-    let (kv2, _) = FasterKv::<u64>::recover(kv_opts()).unwrap();
+    let (kv2, _) = kv_opts().recover().unwrap();
     let (mut s2, point) = kv2.continue_session(0);
     assert_eq!(point, committed as u64);
 
@@ -127,7 +127,7 @@ fn memdb_and_faster_agree_on_recovered_state() {
 fn durable_prefix_is_monotone_and_bounded() {
     let dir = tempfile::tempdir().unwrap();
     let kv: FasterKv<u64> =
-        FasterKv::open(FasterOptions::u64_sums(dir.path()).with_refresh_every(4)).unwrap();
+        FasterBuilder::u64_sums(dir.path()).refresh_every(4).open().unwrap();
     let mut s = kv.start_session(1);
     let mut last_durable = 0;
     for round in 1..=4u64 {
@@ -156,7 +156,7 @@ fn durable_prefix_is_monotone_and_bounded() {
 fn session_churn_during_commit_completes() {
     let dir = tempfile::tempdir().unwrap();
     let kv: FasterKv<u64> =
-        FasterKv::open(FasterOptions::u64_sums(dir.path()).with_refresh_every(4)).unwrap();
+        FasterBuilder::u64_sums(dir.path()).refresh_every(4).open().unwrap();
     let mut s0 = kv.start_session(0);
     for i in 0..100u64 {
         s0.upsert(i, i);

@@ -26,10 +26,10 @@ use rand::{Rng, SeedableRng};
 
 use cpr::core::Phase;
 use cpr::faster::{
-    CheckpointVariant, FasterKv, FasterOptions, FasterSession, HlogConfig, ReadResult,
+    CheckpointVariant, FasterKv, FasterBuilder, FasterSession, HlogConfig, ReadResult,
     VersionGrain,
 };
-use cpr::memdb::{Access, Durability, MemDb, MemDbOptions, Session, TxnRequest};
+use cpr::memdb::{MemDbBuilder, Access, Durability, MemDb, Session, TxnRequest};
 use cpr::storage::{FaultInjector, FaultPlan};
 
 const KEYS: u64 = 16;
@@ -136,8 +136,8 @@ fn sweep_points(wait_flush_ops: u64) -> Vec<CrashPoint> {
 // memdb (CPR) harness
 // ---------------------------------------------------------------------------
 
-fn memdb_opts(dir: &std::path::Path, inj: Option<Arc<FaultInjector>>) -> MemDbOptions {
-    let mut o = MemDbOptions::new(Durability::Cpr)
+fn memdb_opts(dir: &std::path::Path, inj: Option<Arc<FaultInjector>>) -> MemDbBuilder<u64> {
+    let mut o = MemDb::builder(Durability::Cpr)
         .dir(dir)
         .capacity(64)
         .refresh_every(4);
@@ -199,7 +199,7 @@ fn memdb_crash_case(seed: u64, point: CrashPoint) {
     let ops_b = gen_ops(seed ^ SPLIT, 25);
     let committed_second;
     {
-        let db: MemDb<u64> = MemDb::open(memdb_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let db: MemDb<u64> = memdb_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = db.session(1);
         for &op in &ops_a {
             memdb_exec(&mut s, op);
@@ -251,7 +251,7 @@ fn memdb_crash_case(seed: u64, point: CrashPoint) {
     }
 
     // Reopen the surviving directory with a fault-free stack.
-    let (db2, manifest) = MemDb::<u64>::recover(memdb_opts(dir.path(), None)).unwrap();
+    let (db2, manifest) = memdb_opts(dir.path(), None).recover().unwrap();
     let manifest = manifest.unwrap_or_else(|| panic!("committed checkpoint lost: {tag}"));
     let expect_ops: Vec<Op> = if committed_second {
         ops_a.iter().chain(&ops_b).copied().collect()
@@ -293,7 +293,7 @@ fn memdb_transient_failure_aborts_then_next_commit_succeeds() {
     let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
     let ops = gen_ops(seed, 50);
     {
-        let db: MemDb<u64> = MemDb::open(memdb_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let db: MemDb<u64> = memdb_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = db.session(1);
         for &op in &ops {
             memdb_exec(&mut s, op);
@@ -310,7 +310,7 @@ fn memdb_transient_failure_aborts_then_next_commit_succeeds() {
         assert!(db.request_commit(), "{tag}");
         assert!(memdb_pump(&db, &mut s, v, 1, &tag), "retry must commit: {tag}");
     }
-    let (db2, manifest) = MemDb::<u64>::recover(memdb_opts(dir.path(), None)).unwrap();
+    let (db2, manifest) = memdb_opts(dir.path(), None).recover().unwrap();
     let manifest = manifest.unwrap();
     assert_eq!(manifest.cpr_point(1), Some(ops.len() as u64), "{tag}");
     let model = model_replay(&ops);
@@ -323,18 +323,18 @@ fn memdb_transient_failure_aborts_then_next_commit_succeeds() {
 // FASTER harness (fold-over + snapshot)
 // ---------------------------------------------------------------------------
 
-fn faster_opts(dir: &std::path::Path, inj: Option<Arc<FaultInjector>>) -> FasterOptions<u64> {
-    let mut o = FasterOptions::u64_sums(dir)
-        .with_hlog(HlogConfig {
+fn faster_opts(dir: &std::path::Path, inj: Option<Arc<FaultInjector>>) -> FasterBuilder<u64> {
+    let mut o = FasterBuilder::u64_sums(dir)
+        .hlog(HlogConfig {
             page_bits: 12,
             memory_pages: 16,
             mutable_pages: 8,
             value_size: 8,
         })
-        .with_grain(VersionGrain::Fine)
-        .with_refresh_every(4);
+        .grain(VersionGrain::Fine)
+        .refresh_every(4);
     if let Some(i) = inj {
-        o = o.with_fault_injector(i);
+        o = o.fault_injector(i);
     }
     o
 }
@@ -413,7 +413,7 @@ fn faster_crash_case(seed: u64, variant: CheckpointVariant, point: CrashPoint) {
     let ops_a = gen_ops(seed, 40);
     let ops_b = gen_ops(seed ^ SPLIT, 25);
     {
-        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let kv: FasterKv<u64> = faster_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = kv.start_session(7);
         for &op in &ops_a {
             faster_exec(&mut s, op);
@@ -462,7 +462,7 @@ fn faster_crash_case(seed: u64, variant: CheckpointVariant, point: CrashPoint) {
         faster_wait_rest(&kv, &mut s, &tag);
     }
 
-    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    let (kv2, manifest) = faster_opts(dir.path(), None).recover().unwrap();
     let manifest = manifest.unwrap_or_else(|| panic!("committed checkpoint lost: {tag}"));
     assert_eq!(manifest.version, 1, "{tag}");
     let (mut s2, cpr_point) = kv2.continue_session(7);
@@ -514,7 +514,7 @@ fn faster_transient_failure_aborts_then_next_checkpoint_succeeds() {
     let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
     let ops = gen_ops(seed, 50);
     {
-        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let kv: FasterKv<u64> = faster_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = kv.start_session(7);
         for &op in &ops {
             faster_exec(&mut s, op);
@@ -532,7 +532,7 @@ fn faster_transient_failure_aborts_then_next_checkpoint_succeeds() {
         assert!(kv.request_checkpoint(CheckpointVariant::FoldOver, false), "{tag}");
         assert!(faster_pump(&kv, &mut s, v, 1, &tag), "retry must commit: {tag}");
     }
-    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    let (kv2, manifest) = faster_opts(dir.path(), None).recover().unwrap();
     assert!(manifest.is_some(), "{tag}");
     let (mut s2, cpr_point) = kv2.continue_session(7);
     assert_eq!(cpr_point, ops.len() as u64, "{tag}");
@@ -557,7 +557,7 @@ fn faster_crash_before_request_is_rejected_cleanly() {
     let dir = tempfile::tempdir().unwrap();
     let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
     {
-        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let kv: FasterKv<u64> = faster_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = kv.start_session(7);
         for &op in &gen_ops(seed, 30) {
             faster_exec(&mut s, op);
@@ -567,7 +567,7 @@ fn faster_crash_before_request_is_rejected_cleanly() {
         assert_eq!(kv.checkpoint_failures(), 1, "{tag}");
         assert_eq!(kv.state(), (Phase::Rest, 1), "{tag}");
     }
-    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    let (kv2, manifest) = faster_opts(dir.path(), None).recover().unwrap();
     assert!(manifest.is_none(), "{tag}");
     let (mut s2, cpr_point) = kv2.continue_session(7);
     assert_eq!(cpr_point, 0, "{tag}");
@@ -588,7 +588,7 @@ fn torture_memdb(seed: u64) {
     let ops = gen_ops(seed ^ SPLIT, 48);
     let mut committed: HashMap<u64, u64> = HashMap::new(); // version -> prefix len
     {
-        let db: MemDb<u64> = MemDb::open(memdb_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let db: MemDb<u64> = memdb_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = db.session(1);
         let mut done = 0u64;
         for chunk in ops.chunks(12) {
@@ -604,7 +604,7 @@ fn torture_memdb(seed: u64) {
             memdb_wait_rest(&db, &mut s, &tag);
         }
     }
-    let (db2, manifest) = MemDb::<u64>::recover(memdb_opts(dir.path(), None)).unwrap();
+    let (db2, manifest) = memdb_opts(dir.path(), None).recover().unwrap();
     let prefix = match &manifest {
         Some(m) => *committed.get(&m.version).unwrap_or_else(|| {
             panic!("recovered version {} was never seen committing: {tag}", m.version)
@@ -631,7 +631,7 @@ fn torture_faster(seed: u64) {
     let ops = gen_ops(seed ^ SPLIT, 48);
     let mut committed: HashMap<u64, u64> = HashMap::new();
     {
-        let kv: FasterKv<u64> = FasterKv::open(faster_opts(dir.path(), Some(inj.clone()))).unwrap();
+        let kv: FasterKv<u64> = faster_opts(dir.path(), Some(inj.clone())).open().unwrap();
         let mut s = kv.start_session(11);
         let mut done = 0u64;
         for (i, chunk) in ops.chunks(12).enumerate() {
@@ -656,7 +656,7 @@ fn torture_faster(seed: u64) {
             faster_wait_rest(&kv, &mut s, &tag);
         }
     }
-    let (kv2, manifest) = FasterKv::<u64>::recover(faster_opts(dir.path(), None)).unwrap();
+    let (kv2, manifest) = faster_opts(dir.path(), None).recover().unwrap();
     let prefix = match &manifest {
         Some(m) => *committed.get(&m.version).unwrap_or_else(|| {
             panic!("recovered version {} was never seen committing: {tag}", m.version)

@@ -9,9 +9,9 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use cpr::faster::{
-    CheckpointVariant, FasterKv, FasterOptions, HlogConfig, ReadResult, VersionGrain,
+    CheckpointVariant, FasterKv, FasterBuilder, HlogConfig, ReadResult, VersionGrain,
 };
-use cpr::memdb::{Access, DbValue, Durability, MemDb, MemDbOptions, TxnRequest};
+use cpr::memdb::{Access, DbValue, Durability, MemDb, TxnRequest};
 
 /// One single-key operation in a generated schedule.
 #[derive(Debug, Clone, Copy)]
@@ -60,14 +60,14 @@ proptest! {
         post in prop::collection::vec(op_strategy(16), 0..40),
     ) {
         let dir = tempfile::tempdir().unwrap();
-        let opts = || MemDbOptions::new(Durability::Cpr)
+        let opts = || MemDb::builder(Durability::Cpr)
             .dir(dir.path())
             .capacity(64)
             .refresh_every(4);
         let mut model: HashMap<u64, u64> = HashMap::new();
 
         {
-            let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+            let db: MemDb<u64> = opts().open().unwrap();
             let mut s = db.session(1);
             let mut reads = Vec::new();
             let mut run = |s: &mut cpr::memdb::Session<u64>, op: Op, model: Option<&mut HashMap<u64,u64>>| {
@@ -96,7 +96,7 @@ proptest! {
             }
         }
 
-        let (db2, manifest) = MemDb::<u64>::recover(opts()).unwrap();
+        let (db2, manifest) = opts().recover().unwrap();
         let manifest = manifest.unwrap();
         prop_assert_eq!(manifest.cpr_point(1), Some(pre.len() as u64));
         for key in 0..16u64 {
@@ -114,13 +114,13 @@ proptest! {
         ops in prop::collection::vec(op_strategy(8), 1..80),
     ) {
         let dir = tempfile::tempdir().unwrap();
-        let opts = || MemDbOptions::new(Durability::Wal)
+        let opts = || MemDb::builder(Durability::Wal)
             .dir(dir.path())
             .capacity(64)
             .group_commit(Duration::from_millis(1));
         let mut model: HashMap<u64, u64> = HashMap::new();
         {
-            let db: MemDb<u64> = MemDb::open(opts()).unwrap();
+            let db: MemDb<u64> = opts().open().unwrap();
             let mut s = db.session(1);
             let mut reads = Vec::new();
             for &op in &ops {
@@ -137,7 +137,7 @@ proptest! {
             }
             db.request_commit(); // WAL sync
         }
-        let (db2, _) = MemDb::<u64>::recover(opts()).unwrap();
+        let (db2, _) = opts().recover().unwrap();
         for key in 0..8u64 {
             prop_assert_eq!(db2.read(key), model.get(&key).copied(), "key {}", key);
         }
@@ -154,15 +154,15 @@ proptest! {
         coarse in any::<bool>(),
     ) {
         let dir = tempfile::tempdir().unwrap();
-        let opts = || FasterOptions::u64_sums(dir.path())
-            .with_hlog(HlogConfig {
+        let opts = || FasterBuilder::u64_sums(dir.path())
+            .hlog(HlogConfig {
                 page_bits: 12,
                 memory_pages: 16,
                 mutable_pages: 8,
                 value_size: 8,
             })
-            .with_grain(if coarse { VersionGrain::Coarse } else { VersionGrain::Fine })
-            .with_refresh_every(4);
+            .grain(if coarse { VersionGrain::Coarse } else { VersionGrain::Fine })
+            .refresh_every(4);
         let variant = if snapshot {
             CheckpointVariant::Snapshot
         } else {
@@ -170,7 +170,7 @@ proptest! {
         };
         let mut model: HashMap<u64, u64> = HashMap::new();
         {
-            let kv: FasterKv<u64> = FasterKv::open(opts()).unwrap();
+            let kv: FasterKv<u64> = opts().open().unwrap();
             let mut s = kv.start_session(9);
             for &op in &pre {
                 match op {
@@ -195,7 +195,7 @@ proptest! {
                 }
             }
         }
-        let (kv, _) = FasterKv::<u64>::recover(opts()).unwrap();
+        let (kv, _) = opts().recover().unwrap();
         let (mut s, point) = kv.continue_session(9);
         prop_assert_eq!(point, pre.len() as u64);
         for key in 0..24u64 {
