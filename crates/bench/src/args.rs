@@ -70,8 +70,9 @@ pub fn usage() -> String {
      \u{20}       stragglers also takes [--stall-every N] [--stall-ms M]\n\
      \u{20}       ycsb also takes [--metrics-out PATH] (writes a combined JSON metrics report)\n\
      \u{20}       and [--overhead true|only] (disabled-vs-enabled registry A/B on the FASTER run)\n\
+     \u{20}       net also takes [--engine faster|memdb] [--batch B] [--window W] [--read-pct P]\n\
      experiments: fig02 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 phases ablation \
-     extra stragglers ycsb all"
+     extra stragglers ycsb net all"
         .to_string()
 }
 

@@ -4,5 +4,6 @@ pub mod ablation;
 pub mod extra;
 pub mod faster_figs;
 pub mod memdb_figs;
+pub mod net;
 pub mod stragglers;
 pub mod ycsb;

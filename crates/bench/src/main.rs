@@ -41,6 +41,7 @@ fn main() {
         "ablation" => experiments::ablation::ablation(&args),
         "extra" => experiments::extra::extra(&args),
         "stragglers" => experiments::stragglers::stragglers(&args),
+        "net" => experiments::net::net(&args),
         "ycsb" => experiments::ycsb::ycsb(&args),
         "all" => {
             experiments::memdb_figs::fig02(&args);

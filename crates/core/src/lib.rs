@@ -20,6 +20,7 @@
 pub mod liveness;
 pub mod manifest;
 mod phase;
+pub mod resume;
 mod sessions;
 mod state;
 pub mod sync;
@@ -31,6 +32,7 @@ pub use liveness::{
 };
 pub use manifest::{CheckpointKind, CheckpointManifest, SessionCpr};
 pub use phase::Phase;
+pub use resume::{CommitPoint, DetachedSessions};
 pub use sessions::{SessionId, SessionInfo, SessionRegistry, SessionSlot};
 pub use state::SystemState;
 pub use sync::NoWaitLock;
@@ -50,5 +52,5 @@ pub use version::CheckpointVersion;
 pub mod prelude {
     pub use crate::liveness::{CommitOutcome, LivenessConfig, SessionStatus};
     pub use crate::manifest::{CheckpointKind, CheckpointManifest};
-    pub use crate::{CheckpointVersion, Phase, SessionId, SessionInfo};
+    pub use crate::{CheckpointVersion, CommitPoint, Phase, SessionId, SessionInfo};
 }

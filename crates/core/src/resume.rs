@@ -1,0 +1,210 @@
+//! Session resume support: commit points that survive detach.
+//!
+//! The paper's recovery contract (Sec. 2) is *per session*: after a crash,
+//! session `i` learns a commit point `t_i` such that exactly the serials
+//! `<= t_i` are durable. That contract must hold even for sessions that
+//! are not attached when the checkpoint's manifest is written — a client
+//! that disconnected, or a straggler the watchdog evicted. The registry
+//! ([`crate::SessionRegistry`]) only tracks *occupied* slots, so both
+//! engines pair it with a [`DetachedSessions`] side table: when a session
+//! detaches, it deposits the commit points it had already contributed to
+//! in-flight checkpoint versions plus its final accepted serial; when a
+//! checkpoint's manifest is assembled, detached sessions contribute their
+//! points alongside the live registry snapshot.
+//!
+//! [`CommitPoint`] is the value a server pushes to a remote client (and
+//! what a reconnecting client learns during the resume handshake): ops
+//! with serial `<= until_serial` are durable as of `version`, except the
+//! listed `exclusions`, which the client must re-issue. The engines in
+//! this repo produce pure prefixes (no exclusions), but the type — and
+//! the wire protocol built on it — carries them so a client implements
+//! the full CPR contract from the paper.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::SessionId;
+
+/// A session's commit point as published to clients: everything up to
+/// `until_serial` is durable at checkpoint `version`, except `exclusions`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitPoint {
+    /// Checkpoint version whose manifest established this point.
+    pub version: u64,
+    /// Highest serial included in the durable prefix.
+    pub until_serial: u64,
+    /// Serials `<= until_serial` that are *not* durable and must be
+    /// re-issued by the client (paper, Sec. 2: commit points may exclude
+    /// a finite set of operations). Always empty for the engines here.
+    pub exclusions: Vec<u64>,
+}
+
+impl CommitPoint {
+    /// A pure-prefix commit point (no exclusions).
+    pub fn prefix(version: u64, until_serial: u64) -> Self {
+        CommitPoint {
+            version,
+            until_serial,
+            exclusions: Vec::new(),
+        }
+    }
+
+    /// True iff `serial` is covered by this commit point.
+    pub fn covers(&self, serial: u64) -> bool {
+        serial <= self.until_serial && !self.exclusions.contains(&serial)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Detached {
+    /// `(version, point)` entries, one per checkpoint version the session
+    /// contributed a CPR point to before detaching, plus a final entry at
+    /// the version its last ops ran under. Monotone in both components:
+    /// "all serials `<= point` were applied under checkpoint versions
+    /// `<= version`".
+    points: Vec<(u64, u64)>,
+    /// Serial of the last operation the session accepted. Used as the
+    /// resume point for a *live* re-attach (no crash in between — every
+    /// accepted op is still in memory, so nothing needs replay).
+    last_serial: u64,
+}
+
+/// Side table of commit points for sessions that have detached (dropped
+/// their handle, disconnected, or been evicted by the watchdog). Keeps
+/// the per-session recovery contract intact across checkpoints the
+/// session is not present for.
+#[derive(Debug, Default)]
+pub struct DetachedSessions {
+    inner: Mutex<HashMap<SessionId, Detached>>,
+}
+
+impl DetachedSessions {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a cleanly-detached session: `points` are the CPR points it
+    /// had marked for still-uncommitted checkpoint versions (oldest
+    /// first), and `last_serial` its final accepted serial tagged with
+    /// the version its trailing ops ran under.
+    pub fn record(&self, guid: SessionId, points: Vec<(u64, u64)>, last_serial: (u64, u64)) {
+        let mut map = self.inner.lock().unwrap();
+        let d = map.entry(guid).or_default();
+        d.points = points;
+        d.points.push(last_serial);
+        d.last_serial = last_serial.1;
+    }
+
+    /// Record an evicted session. Eviction cancels every operation after
+    /// the rolled-back CPR `point`, so the point doubles as the last
+    /// serial: a resuming client must re-issue everything after it.
+    pub fn record_evicted(&self, guid: SessionId, version: u64, point: u64) {
+        let mut map = self.inner.lock().unwrap();
+        let d = map.entry(guid).or_default();
+        d.points = vec![(version, point)];
+        d.last_serial = point;
+    }
+
+    /// The serial a session should resume from if the store has been
+    /// continuously up (live re-attach): its last accepted serial.
+    /// `None` if the guid never detached in this process lifetime.
+    pub fn last_serial(&self, guid: SessionId) -> Option<u64> {
+        self.inner.lock().unwrap().get(&guid).map(|d| d.last_serial)
+    }
+
+    /// Commit points detached sessions contribute to the manifest of
+    /// checkpoint `version`: for each guid, the largest point recorded at
+    /// a version `<= version` (ops up to that point were applied under
+    /// checkpoint versions at or below the one committing now).
+    pub fn points_for(&self, version: u64) -> Vec<(SessionId, u64)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .filter_map(|(&guid, d)| {
+                d.points
+                    .iter()
+                    .filter(|&&(v, _)| v <= version)
+                    .map(|&(_, p)| p)
+                    .max()
+                    .map(|p| (guid, p))
+            })
+            .collect()
+    }
+
+    /// Drop point entries subsumed by the committed manifest of
+    /// `version` (their value now lives in the manifest / the engine's
+    /// carried-forward durable points). The `last_serial` survives for
+    /// live re-attach.
+    pub fn prune_committed(&self, version: u64) {
+        let mut map = self.inner.lock().unwrap();
+        for d in map.values_mut() {
+            d.points.retain(|&(v, _)| v > version);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_point_covers() {
+        let cp = CommitPoint {
+            version: 3,
+            until_serial: 10,
+            exclusions: vec![7],
+        };
+        assert!(cp.covers(6));
+        assert!(!cp.covers(7), "excluded serial is not durable");
+        assert!(cp.covers(10));
+        assert!(!cp.covers(11));
+        assert_eq!(CommitPoint::prefix(1, 5).exclusions, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn detached_prefix_points_by_version() {
+        let d = DetachedSessions::new();
+        // Session 1 detached mid-checkpoint v=4: it had marked point 10
+        // for v=4, then ran 2 more ops under v=5 before detaching.
+        d.record(1, vec![(4, 10)], (5, 12));
+        // Manifest for v=4 sees only the marked point.
+        assert_eq!(d.points_for(4), vec![(1, 10)]);
+        // A later checkpoint covers everything.
+        assert_eq!(d.points_for(5), vec![(1, 12)]);
+        assert_eq!(d.points_for(9), vec![(1, 12)]);
+        // An older version predates every entry.
+        assert!(d.points_for(3).is_empty());
+        // Live re-attach resumes after the last accepted op.
+        assert_eq!(d.last_serial(1), Some(12));
+        assert_eq!(d.last_serial(2), None);
+    }
+
+    #[test]
+    fn evicted_session_reports_rolled_back_point() {
+        let d = DetachedSessions::new();
+        // Evicted during v=6 with ops 8..=11 cancelled: point rolled to 7.
+        d.record_evicted(9, 6, 7);
+        assert_eq!(d.points_for(6), vec![(9, 7)]);
+        assert_eq!(d.points_for(8), vec![(9, 7)]);
+        // The pre-eviction serial (11) must NOT be reported anywhere.
+        assert_eq!(d.last_serial(9), Some(7));
+    }
+
+    #[test]
+    fn prune_keeps_last_serial() {
+        let d = DetachedSessions::new();
+        d.record(1, vec![(2, 3)], (3, 5));
+        d.prune_committed(3);
+        assert!(d.points_for(9).is_empty());
+        assert_eq!(d.last_serial(1), Some(5), "live-resume point survives");
+    }
+
+    #[test]
+    fn re_record_supersedes() {
+        let d = DetachedSessions::new();
+        d.record(1, vec![], (2, 4));
+        // Session re-attached, ran to serial 9, detached again.
+        d.record(1, vec![], (2, 9));
+        assert_eq!(d.points_for(2), vec![(1, 9)]);
+        assert_eq!(d.last_serial(1), Some(9));
+    }
+}

@@ -5,6 +5,7 @@
 //! they keep processing version-`v + 1` requests while the version-`v`
 //! state is written out.
 
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -56,6 +57,16 @@ pub(crate) fn run_wait_flush<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) {
         );
     }
     if let Some(manifest) = committed {
+        // The manifest's points are now the durable baseline; detached
+        // entries it subsumes can be dropped.
+        {
+            let mut durable = inner.durable_points.lock();
+            for s in &manifest.sessions {
+                let e = durable.entry(s.guid).or_insert(0);
+                *e = (*e).max(s.cpr_point);
+            }
+        }
+        inner.detached.prune_committed(v);
         inner.committed_version.store(v, Ordering::Release);
         for cb in inner.commit_callbacks.lock().iter() {
             cb(v, &manifest.sessions);
@@ -118,14 +129,34 @@ fn try_wait_flush<V: Pod>(
     manifest.index_begin = lis;
     manifest.index_end = lie;
     manifest.snapshot_start = snapshot_start;
-    manifest.sessions = inner
-        .registry
-        .cpr_points()
+    manifest.sessions = session_points(inner, v);
+    inner.store.commit(&manifest).ok()?;
+    Some(manifest)
+}
+
+/// Per-session commit points for the manifest of version `v`: the newest
+/// durable points carried forward, detached sessions' deposited points,
+/// and the live registry snapshot, merged by max. Serials only grow per
+/// guid, so max picks the newest claim each source can justify (and a
+/// session that re-attached mid-checkpoint — registry point still 0 —
+/// keeps the point it deposited when it detached).
+pub(crate) fn session_points<V: Pod>(inner: &Arc<StoreInner<V>>, v: u64) -> Vec<SessionCpr> {
+    let mut points: HashMap<u64, u64> = inner.durable_points.lock().clone();
+    for (guid, p) in inner
+        .detached
+        .points_for(v)
+        .into_iter()
+        .chain(inner.registry.cpr_points())
+    {
+        let e = points.entry(guid).or_insert(0);
+        *e = (*e).max(p);
+    }
+    let mut out: Vec<SessionCpr> = points
         .into_iter()
         .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
         .collect();
-    inner.store.commit(&manifest).ok()?;
-    Some(manifest)
+    out.sort_unstable_by_key(|s| s.guid);
+    out
 }
 
 /// Standalone fuzzy index checkpoint (paper Sec. 6.3): the index is

@@ -467,6 +467,18 @@ impl HybridLog {
         out
     }
 
+    /// Read `[start, end)` from the durable log image on the device,
+    /// bypassing in-memory frames. Only valid below [`Self::head`]:
+    /// after [`Self::restore_at`] the recovered prefix exists *only* on
+    /// the device (the tail page's frame is zeroed), so frame-first
+    /// reads of that region see slack.
+    pub fn read_durable(&self, start: Address, end: Address) -> io::Result<Vec<u8>> {
+        assert!(start <= end);
+        let mut buf = vec![0u8; (end - start) as usize];
+        self.device.read_at(start, &mut buf)?;
+        Ok(buf)
+    }
+
     /// Copy `[start, end)` tolerating concurrent eviction: pages are read
     /// from their frame when resident, from the device otherwise (an
     /// evicted page is flushed by construction). Used by snapshot commits,

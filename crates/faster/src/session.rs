@@ -1168,6 +1168,22 @@ impl<V: Pod> Drop for FasterSession<V> {
                 self.store.pending_count[(op.tag & 1) as usize].fetch_sub(1, Ordering::AcqRel);
             }
         }
+        // Deposit this session's commit points before freeing the slot:
+        // once the slot is released the registry forgets the guid, but a
+        // later checkpoint (or a reconnecting client) still needs them.
+        if self.evicted || self.store.registry.is_evicted(self.slot_idx) {
+            // Eviction cancelled every op after the rolled-back point; the
+            // pre-eviction serial must never be reported.
+            let point = self.store.registry.cpr_point(self.slot_idx);
+            self.store
+                .detached
+                .record_evicted(self.guid, self.version, point);
+        } else {
+            let points: Vec<(u64, u64)> = self.pending_points.iter().copied().collect();
+            self.store
+                .detached
+                .record(self.guid, points, (self.txn_version(), self.serial));
+        }
         self.store.registry.release(self.slot_idx);
     }
 }

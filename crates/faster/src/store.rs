@@ -10,7 +10,8 @@ use std::time::{Duration, Instant};
 
 use cpr_core::liveness::{CommitOutcome, LivenessConfig};
 use cpr_core::{
-    CheckpointManifest, CheckpointVersion, NoWaitLock, Phase, Pod, SessionRegistry, SystemState,
+    CheckpointManifest, CheckpointVersion, DetachedSessions, NoWaitLock, Phase, Pod,
+    SessionRegistry, SystemState,
 };
 use cpr_epoch::EpochManager;
 use cpr_metrics::{MetricsReport, Registry};
@@ -315,7 +316,15 @@ pub(crate) struct StoreInner<V: Pod> {
     /// Book-keeping for the in-flight (or most recent) commit attempt.
     pub(crate) outcome: Mutex<CommitOutcome>,
     watchdog_thread: Mutex<Option<JoinHandle<()>>>,
-    pub(crate) recovered_sessions: HashMap<u64, u64>,
+    /// Per-guid commit points of the newest durable manifest, seeded from
+    /// the recovery manifest and updated after every commit. Carried
+    /// forward into each new manifest so sessions that are not attached
+    /// at commit time keep their recovery contract.
+    pub(crate) durable_points: Mutex<HashMap<u64, u64>>,
+    /// Commit points (and live-resume serials) of sessions that detached
+    /// since the store opened — dropped handles, disconnected clients,
+    /// watchdog evictions.
+    pub(crate) detached: DetachedSessions,
     /// Checkpoints that failed on I/O and were aborted (no manifest).
     pub(crate) checkpoint_failures: AtomicU64,
     pub(crate) last_phase_marks: Mutex<Vec<(Phase, Duration)>>,
@@ -435,7 +444,8 @@ impl<V: Pod> FasterKv<V> {
             offline_pending: Mutex::new(HashMap::new()),
             outcome: Mutex::new(CommitOutcome::default()),
             watchdog_thread: Mutex::new(None),
-            recovered_sessions: sessions,
+            durable_points: Mutex::new(sessions),
+            detached: DetachedSessions::new(),
             checkpoint_failures: AtomicU64::new(0),
             last_phase_marks: Mutex::new(Vec::new()),
             commit_callbacks: Mutex::new(Vec::new()),
@@ -480,19 +490,29 @@ impl<V: Pod> FasterKv<V> {
         FasterSession::new(Arc::clone(&self.inner), guid, 0)
     }
 
-    /// Re-establish a session after recovery: returns the session and the
-    /// serial number of its last recovered operation (its CPR point).
+    /// Re-establish a session by guid: returns the session and the serial
+    /// it should resume from. If the guid detached while this store stayed
+    /// up (client reconnect, no crash), that is its last *accepted* serial
+    /// — nothing was lost, so nothing needs replay. Otherwise it is the
+    /// guid's commit point from the recovery manifest: every later serial
+    /// must be re-issued (the CPR resume contract, paper Sec. 2).
     pub fn continue_session(&self, guid: u64) -> (FasterSession<V>, u64) {
         let serial = self
             .inner
-            .recovered_sessions
-            .get(&guid)
-            .copied()
+            .detached
+            .last_serial(guid)
+            .or_else(|| self.inner.durable_points.lock().get(&guid).copied())
             .unwrap_or(0);
         (
             FasterSession::new(Arc::clone(&self.inner), guid, serial),
             serial,
         )
+    }
+
+    /// The guid's durable commit point: the serial below which every op
+    /// is guaranteed recovered after a crash right now.
+    pub fn durable_point(&self, guid: u64) -> u64 {
+        self.inner.durable_points.lock().get(&guid).copied().unwrap_or(0)
     }
 
     /// Request a CPR commit (paper Fig. 9a). Returns `false` if one is
@@ -596,6 +616,85 @@ impl<V: Pod> FasterKv<V> {
 
     pub fn hlog(&self) -> &Arc<HybridLog> {
         &self.inner.hlog
+    }
+
+    /// Full scan: the live `(key, value)` pairs reachable from the log,
+    /// by a log walk over `[begin_address, tail)` — the scan runs in
+    /// address order, so later records win; tombstones delete; invalid
+    /// records are skipped. Pages are fetched from memory when resident,
+    /// from the device otherwise. Intended for quiescent use (verification
+    /// and serving scans after recovery): concurrent writers may or may
+    /// not be observed.
+    pub fn scan_all(&self) -> io::Result<Vec<(u64, V)>> {
+        let hl = &self.inner.hlog;
+        let rec_size = hl.rec.record_size() as u64;
+        let begin = hl.begin_address();
+        let end = hl.tail();
+        let psz = hl.layout.page_size();
+        let mut live: HashMap<u64, Option<V>> = HashMap::new();
+        let mut addr = begin;
+        let mut page_buf: Vec<u8> = Vec::new();
+        let mut buf_start = u64::MAX;
+        while addr < end {
+            // Records never straddle pages; skip page-tail slack.
+            if hl.layout.offset(addr) + rec_size > psz {
+                addr = hl.layout.page_start(hl.layout.page(addr) + 1);
+                continue;
+            }
+            let page = hl.layout.page(addr);
+            let chunk_start = hl.layout.page_start(page).max(begin);
+            if buf_start != chunk_start {
+                let chunk_end = hl.layout.page_start(page + 1).min(end);
+                // Below `head` the authoritative bytes are the durable
+                // image: after recovery the restored tail page is marked
+                // resident with a zeroed frame, so frame-first reads of
+                // the recovered prefix would see slack. At or above
+                // `head`, frames hold appends not yet flushed.
+                let head = hl.head();
+                page_buf = if chunk_end <= head {
+                    hl.read_durable(chunk_start, chunk_end)?
+                } else if chunk_start >= head {
+                    hl.read_range(chunk_start, chunk_end)?
+                } else {
+                    let mut buf = hl.read_durable(chunk_start, head)?;
+                    buf.extend(hl.read_range(head, chunk_end)?);
+                    buf
+                };
+                buf_start = chunk_start;
+            }
+            let base = (addr - buf_start) as usize;
+            if base + rec_size as usize > page_buf.len() {
+                break; // truncated tail
+            }
+            let word = u64::from_le_bytes(page_buf[base..base + 8].try_into().unwrap());
+            if word == 0 {
+                // Unwritten slack: nothing else in this page.
+                addr = hl.layout.page_start(page + 1);
+                continue;
+            }
+            let h = crate::header::Header::unpack(word);
+            if !h.invalid {
+                let key = u64::from_le_bytes(page_buf[base + 8..base + 16].try_into().unwrap());
+                if h.tombstone {
+                    live.insert(key, None);
+                } else {
+                    let words: Vec<u64> = (0..self.inner.value_words)
+                        .map(|i| {
+                            let o = base + 16 + 8 * i;
+                            u64::from_le_bytes(page_buf[o..o + 8].try_into().unwrap())
+                        })
+                        .collect();
+                    live.insert(key, Some(value_from_words(&words)));
+                }
+            }
+            addr += rec_size;
+        }
+        let mut out: Vec<(u64, V)> = live
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        Ok(out)
     }
 }
 

@@ -16,6 +16,7 @@
 //! discarded, no manifest is written, `committed_version` stays put, and
 //! sessions return to `rest` at `v + 1` so a later commit can succeed.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::Ordering;
@@ -46,10 +47,23 @@ pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
         .state
         .transition((Phase::WaitFlush, v), (Phase::Rest, v + 1));
     debug_assert!(ok, "state machine out of sync at capture completion");
-    if let Some(token) = committed {
+    if let Some((token, sessions)) = &committed {
+        // The manifest's points are now the durable baseline; detached
+        // entries it subsumes can be dropped.
+        {
+            let mut durable = inner.durable_points.lock();
+            for s in sessions {
+                let e = durable.entry(s.guid).or_insert(0);
+                *e = (*e).max(s.cpr_point);
+            }
+        }
+        inner.detached.prune_committed(v);
         inner.committed_version.store(v, Ordering::Release);
         *inner.last_capture.lock() = Some(started.elapsed());
-        *inner.last_capture_token.lock() = Some(token);
+        *inner.last_capture_token.lock() = Some(*token);
+        for cb in inner.commit_callbacks.lock().iter() {
+            cb(v, sessions);
+        }
     }
     if inner.opts.metrics.is_enabled() {
         let out = inner.outcome.lock();
@@ -65,9 +79,10 @@ pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
     inner.commit_cv.notify_all();
 }
 
-/// The fallible body of capture. Returns the committed token, or `None`
-/// if any I/O step failed (the partial checkpoint is aborted).
-fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<u64> {
+/// The fallible body of capture. Returns the committed token and the
+/// manifest's session points, or `None` if any I/O step failed (the
+/// partial checkpoint is aborted).
+fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<(u64, Vec<SessionCpr>)> {
     let store = inner.store.as_ref().expect("capture requires a store");
     let token = store.begin().ok()?;
     // Delta checkpoints capture only records whose version-v image was
@@ -133,17 +148,13 @@ fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<u64> {
     }
     buf[..8].copy_from_slice(&count.to_le_bytes());
 
+    let sessions = session_points(inner, v);
     let result = (|| -> io::Result<()> {
         store.write_file(token, "db.dat", &buf)?;
         let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, v);
         manifest.records = Some(count);
         manifest.base = base;
-        manifest.sessions = inner
-            .registry
-            .cpr_points()
-            .into_iter()
-            .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
-            .collect();
+        manifest.sessions = sessions.clone();
         store.commit(&manifest)
     })();
     if result.is_err() {
@@ -152,7 +163,32 @@ fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<u64> {
         let _ = store.abort(token);
         return None;
     }
-    Some(token)
+    Some((token, sessions))
+}
+
+/// Per-session commit points for the manifest of version `v`: the newest
+/// durable points carried forward, detached sessions' deposited points,
+/// and the live registry snapshot, merged by max. Serials only grow per
+/// guid, so max picks the newest claim each source can justify (and a
+/// session that re-attached mid-checkpoint — registry point still 0 —
+/// keeps the point it deposited when it detached).
+fn session_points<V: DbValue>(inner: &DbInner<V>, v: u64) -> Vec<SessionCpr> {
+    let mut points: HashMap<u64, u64> = inner.durable_points.lock().clone();
+    for (guid, p) in inner
+        .detached
+        .points_for(v)
+        .into_iter()
+        .chain(inner.registry.cpr_points())
+    {
+        let e = points.entry(guid).or_insert(0);
+        *e = (*e).max(p);
+    }
+    let mut out: Vec<SessionCpr> = points
+        .into_iter()
+        .map(|(guid, cpr_point)| SessionCpr { guid, cpr_point })
+        .collect();
+    out.sort_unstable_by_key(|s| s.guid);
+    out
 }
 
 /// Load a checkpoint produced by [`capture`] into a fresh database.

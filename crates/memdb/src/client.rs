@@ -77,9 +77,12 @@ pub struct Session<V: DbValue> {
 }
 
 impl<V: DbValue> Session<V> {
-    pub(crate) fn new(db: Arc<DbInner<V>>, guid: u64) -> Self {
+    pub(crate) fn new(db: Arc<DbInner<V>>, guid: u64, start_serial: u64) -> Self {
         let (phase, version) = db.state.load();
         let slot = db.registry.acquire(guid, phase, version);
+        // Publish the resumed serial immediately: a checkpoint racing this
+        // attach must see the session's true position, not a fresh 0.
+        db.registry.set_serial(slot, start_serial);
         let mut guard = db.epoch.register();
         let clock = db.opts.liveness.as_ref().map(|l| Arc::clone(&l.clock));
         if let Some(c) = &clock {
@@ -99,10 +102,10 @@ impl<V: DbValue> Session<V> {
             guid,
             phase,
             version,
-            serial: 0,
+            serial: start_serial,
             ops_since_refresh: 0,
             pending_points: VecDeque::new(),
-            durable_serial: 0,
+            durable_serial: start_serial,
             clock,
             metrics,
             metrics_on,
@@ -603,6 +606,27 @@ fn release_all<V: DbValue>(locked: &[(&Record<V>, bool)]) {
 impl<V: DbValue> Drop for Session<V> {
     fn drop(&mut self) {
         self.db.merged_stats.lock().merge(&self.stats);
+        // Deposit this session's commit points before freeing the slot:
+        // once released the registry forgets the guid, but a later
+        // checkpoint (or a reconnecting client) still needs them.
+        if self.evicted || self.db.registry.is_evicted(self.slot) {
+            // Eviction aborted everything after the rolled-back point; the
+            // pre-eviction serial must never be reported.
+            let point = self.db.registry.cpr_point(self.slot);
+            self.db
+                .detached
+                .record_evicted(self.guid, self.version, point);
+        } else {
+            let txn_version = if self.phase >= Phase::InProgress {
+                self.version + 1
+            } else {
+                self.version
+            };
+            let points: Vec<(u64, u64)> = self.pending_points.iter().copied().collect();
+            self.db
+                .detached
+                .record(self.guid, points, (txn_version, self.serial));
+        }
         self.db.registry.release(self.slot);
         // The epoch guard drops afterwards, draining any pending actions.
     }

@@ -12,10 +12,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use std::collections::HashMap;
+
 use cpr_core::liveness::{CommitOutcome, LivenessConfig, SessionStatus};
 use cpr_core::{
-    CheckpointKind, CheckpointManifest, CheckpointVersion, Phase, SessionId, SessionRegistry,
-    SystemState,
+    CheckpointKind, CheckpointManifest, CheckpointVersion, DetachedSessions, Phase, SessionId,
+    SessionRegistry, SystemState,
 };
 use cpr_epoch::EpochManager;
 use cpr_metrics::{MetricsReport, Registry};
@@ -301,7 +303,20 @@ pub(crate) struct DbInner<V: DbValue> {
     pub(crate) last_capture: Mutex<Option<Duration>>,
     /// Token of the most recent Database checkpoint (delta base).
     pub(crate) last_capture_token: Mutex<Option<u64>>,
+    /// Per-guid commit points of the newest durable manifest, seeded from
+    /// the recovery manifest and carried into each new manifest so
+    /// sessions absent at commit time keep their recovery contract.
+    pub(crate) durable_points: Mutex<HashMap<u64, u64>>,
+    /// Commit points (and live-resume serials) of sessions that detached
+    /// since the database opened.
+    pub(crate) detached: DetachedSessions,
+    /// Commit observers: called with (version, CPR points) after every
+    /// durable commit, on the capture thread.
+    pub(crate) commit_callbacks: Mutex<Vec<CommitCallback>>,
 }
+
+/// Commit observer: `(committed version, per-session CPR points)`.
+pub type CommitCallback = Box<dyn Fn(u64, &[cpr_core::SessionCpr]) + Send + Sync>;
 
 /// Handle to a database; cheap to clone.
 pub struct MemDb<V: DbValue> {
@@ -389,6 +404,9 @@ impl<V: DbValue> MemDb<V> {
             checkpoint_failures: AtomicU64::new(0),
             last_capture: Mutex::new(None),
             last_capture_token: Mutex::new(None),
+            durable_points: Mutex::new(HashMap::new()),
+            detached: DetachedSessions::new(),
+            commit_callbacks: Mutex::new(Vec::new()),
             opts,
         });
 
@@ -457,6 +475,14 @@ impl<V: DbValue> MemDb<V> {
                     checkpoint::load(&db.inner, &store, m)?;
                 }
                 *db.inner.last_capture_token.lock() = Some(manifest.token);
+                // Seed the durable commit points so resumed sessions learn
+                // their recovered prefix (paper Sec. 2's per-session
+                // contract).
+                *db.inner.durable_points.lock() = manifest
+                    .sessions
+                    .iter()
+                    .map(|s| (s.guid, s.cpr_point))
+                    .collect();
                 Ok((db, Some(manifest)))
             }
             Durability::Wal => {
@@ -518,7 +544,60 @@ impl<V: DbValue> MemDb<V> {
     /// Open a client session. `guid` identifies the session across crashes
     /// (paper Sec. 5.2).
     pub fn session(&self, guid: u64) -> Session<V> {
-        Session::new(Arc::clone(&self.inner), guid)
+        Session::new(Arc::clone(&self.inner), guid, 0)
+    }
+
+    /// Re-establish a session by guid: returns the session and the serial
+    /// it should resume from. If the guid detached while this database
+    /// stayed up (client reconnect, no crash), that is its last accepted
+    /// serial — nothing was lost. Otherwise it is the guid's commit point
+    /// from the recovery manifest: every later serial must be re-issued
+    /// (the CPR resume contract, paper Sec. 2).
+    pub fn continue_session(&self, guid: u64) -> (Session<V>, u64) {
+        let serial = self
+            .inner
+            .detached
+            .last_serial(guid)
+            .or_else(|| self.inner.durable_points.lock().get(&guid).copied())
+            .unwrap_or(0);
+        (Session::new(Arc::clone(&self.inner), guid, serial), serial)
+    }
+
+    /// The guid's durable commit point: the serial below which every op is
+    /// guaranteed recovered after a crash right now.
+    pub fn durable_point(&self, guid: u64) -> u64 {
+        self.inner.durable_points.lock().get(&guid).copied().unwrap_or(0)
+    }
+
+    /// Register a commit observer: called with the committed version and
+    /// every session's CPR point after each durable commit. Runs on the
+    /// capture thread — keep it brief.
+    pub fn on_commit(
+        &self,
+        callback: impl Fn(u64, &[cpr_core::SessionCpr]) + Send + Sync + 'static,
+    ) {
+        self.inner.commit_callbacks.lock().push(Box::new(callback));
+    }
+
+    /// Full scan: every live `(key, value)` pair, sorted by key. Takes
+    /// each record's shared lock briefly; intended for quiescent use
+    /// (verification and serving scans), not the transaction hot path.
+    pub fn scan_all(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.inner.table.for_each(|key, rec| {
+            loop {
+                if rec.lock.try_shared() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            if rec.birth() != 0 && !rec.is_dead() {
+                out.push((key, rec.read_live()));
+            }
+            rec.lock.release_shared();
+        });
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
     }
 
     /// Read a record's live value (spins briefly for a shared lock).

@@ -1,0 +1,507 @@
+//! Client library: pipelined batches, a bounded in-flight window, and
+//! the CPR resume dance.
+//!
+//! The client assigns every op a serial and keeps it buffered until a
+//! server-pushed [`CommitPoint`] covers it — a `BatchAck` means
+//! *applied*, not *durable*. On reconnect the handshake returns the
+//! serial to resume from: the client discards covered ops, re-issues the
+//! uncommitted suffix (and any excluded serials) with a contiguous
+//! serial sequence continuing from the resume point, and carries on.
+//! Against a recovered server this replays exactly the ops beyond the
+//! recovered commit point; against a live server the resume point is the
+//! session's last accepted serial and only genuinely-lost ops (sent but
+//! never received) are replayed — nothing is ever applied twice.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cpr_core::CommitPoint;
+use cpr_metrics::Registry;
+
+use crate::wire::{Frame, FrameReader, OpKind, WireOp};
+
+/// Socket poll granularity while waiting on the server.
+const POLL: Duration = Duration::from_millis(5);
+/// Default cap on sent-but-unacked batches.
+const DEFAULT_WINDOW: usize = 8;
+/// Default ops per batch when using [`NetClient::submit`].
+const DEFAULT_BATCH: usize = 256;
+
+/// A completed operation as reported to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult {
+    pub serial: u64,
+    pub kind: OpKind,
+    pub key: u64,
+    pub status: crate::wire::OpStatus,
+    pub value: Option<u64>,
+}
+
+/// The un-durable suffix of a client's op stream, carried across a
+/// reconnect. Obtained from [`NetClient::take_buffer`] (or built empty
+/// for a fresh session) and consumed by [`NetClient::connect_with`].
+#[derive(Debug, Default, Clone)]
+pub struct ReplayBuffer {
+    /// Ops beyond the last known commit point, serial-ascending.
+    ops: Vec<WireOp>,
+}
+
+impl ReplayBuffer {
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The replay set against resume point `resume`: ops not covered
+    /// (beyond `until_serial`, or excluded), renumbered contiguously
+    /// from `resume.until_serial + 1` in original order. Pure — the
+    /// core of the resume dance, unit-tested below.
+    pub fn resolve(&self, resume: &CommitPoint) -> Vec<WireOp> {
+        let mut next = resume.until_serial;
+        self.ops
+            .iter()
+            .filter(|op| !resume.covers(op.serial))
+            .map(|op| {
+                next += 1;
+                WireOp {
+                    serial: next,
+                    ..*op
+                }
+            })
+            .collect()
+    }
+}
+
+/// A connection to a [`crate::server::NetServer`], bound to one session
+/// guid.
+pub struct NetClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    guid: u64,
+    /// Serial of the last op enqueued.
+    next_serial: u64,
+    /// Ops accumulated for the next batch.
+    batch: Vec<WireOp>,
+    /// Ops per batch for `submit` auto-flush.
+    batch_size: usize,
+    /// Sent batches not yet acked: (first_serial, op count, kinds/keys
+    /// for result reporting).
+    inflight: VecDeque<Vec<WireOp>>,
+    /// Send timestamp per in-flight batch, for RTT metrics.
+    sent_at: VecDeque<Instant>,
+    /// Max sent-but-unacked batches before `flush` blocks on acks.
+    window: usize,
+    /// Every sent op whose serial is beyond `committed.until_serial`.
+    retained: VecDeque<WireOp>,
+    /// Commit point learned at the handshake.
+    resume: CommitPoint,
+    /// Latest commit point (handshake or server push).
+    committed: CommitPoint,
+    /// Completed results not yet taken by the application.
+    results: Vec<OpResult>,
+    /// Ops replayed by the last `connect_with` resume.
+    replayed: usize,
+    /// Sink for batch round-trip latencies ([`Registry::record_commit`]
+    /// per acked batch). Defaults to a no-op registry.
+    metrics: Arc<Registry>,
+}
+
+impl NetClient {
+    /// Connect a fresh session (nothing to replay).
+    pub fn connect(addr: impl ToSocketAddrs, guid: u64) -> io::Result<NetClient> {
+        Self::connect_with(addr, guid, ReplayBuffer::default())
+    }
+
+    /// Connect and run the resume dance: handshake, learn the commit
+    /// point for `guid`, replay `buffer`'s uncovered suffix.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        guid: u64,
+        buffer: ReplayBuffer,
+    ) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(POLL))?;
+        let mut client = NetClient {
+            stream,
+            reader: FrameReader::new(),
+            guid,
+            next_serial: 0,
+            batch: Vec::new(),
+            batch_size: DEFAULT_BATCH,
+            inflight: VecDeque::new(),
+            sent_at: VecDeque::new(),
+            window: DEFAULT_WINDOW,
+            retained: VecDeque::new(),
+            resume: CommitPoint::prefix(0, 0),
+            committed: CommitPoint::prefix(0, 0),
+            results: Vec::new(),
+            replayed: 0,
+            metrics: Registry::noop(),
+        };
+        client.send(&Frame::Hello { guid })?;
+        let resume = match client.recv_blocking(Duration::from_secs(10))? {
+            Frame::HelloAck { guid: g, resume } if g == guid => resume,
+            Frame::Error { code, msg } => {
+                return Err(io::Error::other(format!("handshake refused ({code}): {msg}")))
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected HelloAck, got {other:?}"),
+                ))
+            }
+        };
+        client.next_serial = resume.until_serial;
+        client.resume = resume.clone();
+        client.committed = CommitPoint::prefix(resume.version, 0);
+
+        // Replay the uncovered suffix. These are ordinary batches: the
+        // server skips nothing (all serials are beyond its resume point)
+        // and acks them like new work.
+        let replay = buffer.resolve(&resume);
+        client.replayed = replay.len();
+        for op in replay {
+            client.next_serial = op.serial;
+            client.batch.push(op);
+            if client.batch.len() >= client.batch_size {
+                client.flush()?;
+            }
+        }
+        client.flush()?;
+        client.wait_acks(Duration::from_secs(30))?;
+        Ok(client)
+    }
+
+    /// The commit point learned at the handshake — after a server crash
+    /// and recovery, the durable prefix for this guid.
+    pub fn resume_point(&self) -> &CommitPoint {
+        &self.resume
+    }
+
+    /// The latest commit point the server has pushed.
+    pub fn committed(&self) -> &CommitPoint {
+        &self.committed
+    }
+
+    /// Ops replayed during the last connect (0 for a fresh session).
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    pub fn guid(&self) -> u64 {
+        self.guid
+    }
+
+    /// Serial that will be assigned to the next op.
+    pub fn next_serial(&self) -> u64 {
+        self.next_serial + 1
+    }
+
+    /// Ops not yet covered by a commit point (would be replayed if the
+    /// server crashed now).
+    pub fn uncommitted(&self) -> usize {
+        self.retained.len() + self.inflight.iter().map(Vec::len).sum::<usize>() + self.batch.len()
+    }
+
+    pub fn set_window(&mut self, batches: usize) {
+        self.window = batches.max(1);
+    }
+
+    pub fn set_batch_size(&mut self, ops: usize) {
+        self.batch_size = ops.max(1);
+    }
+
+    /// Record per-batch round-trip latency (and op counts) into a
+    /// metrics registry; share one registry across clients to merge.
+    pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
+        self.metrics = metrics;
+    }
+
+    // ---- op submission ------------------------------------------------------
+
+    /// Enqueue an op; auto-flushes at the batch size. Returns the
+    /// assigned serial.
+    pub fn submit(&mut self, kind: OpKind, key: u64, arg: u64) -> io::Result<u64> {
+        self.next_serial += 1;
+        let serial = self.next_serial;
+        self.batch.push(WireOp {
+            serial,
+            kind,
+            key,
+            arg,
+        });
+        if self.batch.len() >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(serial)
+    }
+
+    pub fn read(&mut self, key: u64) -> io::Result<u64> {
+        self.submit(OpKind::Read, key, 0)
+    }
+
+    pub fn upsert(&mut self, key: u64, value: u64) -> io::Result<u64> {
+        self.submit(OpKind::Upsert, key, value)
+    }
+
+    pub fn rmw(&mut self, key: u64, delta: u64) -> io::Result<u64> {
+        self.submit(OpKind::Rmw, key, delta)
+    }
+
+    pub fn delete(&mut self, key: u64) -> io::Result<u64> {
+        self.submit(OpKind::Delete, key, 0)
+    }
+
+    /// Send the pending batch, then drain acks until the in-flight
+    /// window has room again.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.batch.is_empty() {
+            let batch = std::mem::take(&mut self.batch);
+            self.send(&Frame::OpBatch { ops: batch.clone() })?;
+            self.inflight.push_back(batch);
+            self.sent_at.push_back(Instant::now());
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.inflight.len() > self.window {
+            self.pump_one(deadline)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and wait until every sent batch is acked; returns all
+    /// results accumulated since the last take.
+    pub fn sync(&mut self) -> io::Result<Vec<OpResult>> {
+        self.flush()?;
+        self.wait_acks(Duration::from_secs(30))?;
+        Ok(self.take_results())
+    }
+
+    /// Results accumulated since the last call (acks arrive during any
+    /// pump: `flush`, `sync`, `wait_commit`, ...).
+    pub fn take_results(&mut self) -> Vec<OpResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn wait_acks(&mut self, timeout: Duration) -> io::Result<()> {
+        let deadline = Instant::now() + timeout;
+        while !self.inflight.is_empty() {
+            self.pump_one(deadline)?;
+        }
+        Ok(())
+    }
+
+    // ---- checkpoints & scans ------------------------------------------------
+
+    /// Ask the server to start a checkpoint. Returns whether one was
+    /// started (false: another is already in flight).
+    pub fn request_checkpoint(&mut self, variant: u8, log_only: bool) -> io::Result<bool> {
+        self.send(&Frame::CheckpointReq { variant, log_only })?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.recv_blocking_deadline(deadline)? {
+                Frame::CheckpointAck { started } => return Ok(started),
+                other => self.absorb(other)?,
+            }
+        }
+    }
+
+    /// Wait until a pushed commit point reaches `version`. The client
+    /// must keep its session refreshed server-side, which happens
+    /// automatically (the server refreshes idle sessions).
+    pub fn wait_commit(&mut self, version: u64, timeout: Duration) -> io::Result<CommitPoint> {
+        let deadline = Instant::now() + timeout;
+        while self.committed.version < version {
+            let frame = self.recv_blocking_deadline(deadline)?;
+            self.absorb(frame)?;
+        }
+        Ok(self.committed.clone())
+    }
+
+    /// Full scan of the server's live state, sorted by key.
+    pub fn scan(&mut self) -> io::Result<Vec<(u64, u64)>> {
+        self.send(&Frame::ScanReq)?;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut out = Vec::new();
+        loop {
+            match self.recv_blocking_deadline(deadline)? {
+                Frame::ScanChunk { last, entries } => {
+                    out.extend(entries);
+                    if last {
+                        return Ok(out);
+                    }
+                }
+                other => self.absorb(other)?,
+            }
+        }
+    }
+
+    /// Close politely. For crash testing, just drop the client (after
+    /// [`NetClient::take_buffer`]).
+    pub fn goodbye(mut self) -> io::Result<()> {
+        self.flush()?;
+        self.wait_acks(Duration::from_secs(30))?;
+        self.send(&Frame::Goodbye)
+    }
+
+    /// Extract the un-durable suffix for a later
+    /// [`NetClient::connect_with`]. Includes acked-but-uncommitted,
+    /// in-flight, and unsent ops, in serial order.
+    pub fn take_buffer(self) -> ReplayBuffer {
+        let mut ops: Vec<WireOp> = self.retained.into_iter().collect();
+        for b in self.inflight {
+            ops.extend(b);
+        }
+        ops.extend(self.batch);
+        ops.sort_unstable_by_key(|op| op.serial);
+        ops.dedup_by_key(|op| op.serial);
+        ReplayBuffer { ops }
+    }
+
+    // ---- frame plumbing -----------------------------------------------------
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&frame.encode())
+    }
+
+    /// Receive one frame and fold it into client state.
+    fn pump_one(&mut self, deadline: Instant) -> io::Result<()> {
+        let frame = self.recv_blocking_deadline(deadline)?;
+        self.absorb(frame)
+    }
+
+    /// Fold a data frame (ack / commit point) into state; control frames
+    /// reaching here are protocol errors.
+    fn absorb(&mut self, frame: Frame) -> io::Result<()> {
+        match frame {
+            Frame::BatchAck { replies } => {
+                let batch = self.inflight.pop_front().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "unexpected BatchAck")
+                })?;
+                if let Some(t0) = self.sent_at.pop_front() {
+                    if self.metrics.is_enabled() {
+                        let reads =
+                            batch.iter().filter(|op| op.kind == OpKind::Read).count() as u64;
+                        self.metrics.record_commit(
+                            t0.elapsed(),
+                            reads,
+                            batch.len() as u64 - reads,
+                        );
+                    }
+                }
+                // Acked ops stay retained until a commit point covers
+                // them; an ack only means applied.
+                self.retained.extend(batch.iter().copied());
+                for (r, op) in replies.iter().zip(batch.iter()) {
+                    self.results.push(OpResult {
+                        serial: r.serial,
+                        kind: op.kind,
+                        key: op.key,
+                        status: r.status,
+                        value: r.value,
+                    });
+                }
+                let _ = replies;
+                Ok(())
+            }
+            Frame::CommitPoint(cp) => {
+                self.retained.retain(|op| !cp.covers(op.serial));
+                self.committed = cp;
+                Ok(())
+            }
+            Frame::Error { code, msg } => Err(io::Error::other(format!(
+                "server error ({code}): {msg}"
+            ))),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected frame {other:?}"),
+            )),
+        }
+    }
+
+    fn recv_blocking(&mut self, timeout: Duration) -> io::Result<Frame> {
+        self.recv_blocking_deadline(Instant::now() + timeout)
+    }
+
+    fn recv_blocking_deadline(&mut self, deadline: Instant) -> io::Result<Frame> {
+        loop {
+            if let Some(frame) = self.reader.poll(&mut self.stream)? {
+                return Ok(frame);
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out waiting for server",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(serial: u64, key: u64) -> WireOp {
+        WireOp {
+            serial,
+            kind: OpKind::Upsert,
+            key,
+            arg: key,
+        }
+    }
+
+    #[test]
+    fn resolve_replays_exactly_the_uncovered_suffix() {
+        let buf = ReplayBuffer {
+            ops: (1..=10).map(|s| op(s, 100 + s)).collect(),
+        };
+        // Commit point at 6: replay 7..=10 with unchanged serials.
+        let replay = buf.resolve(&CommitPoint::prefix(3, 6));
+        assert_eq!(replay.len(), 4);
+        assert_eq!(
+            replay.iter().map(|o| o.serial).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        assert_eq!(
+            replay.iter().map(|o| o.key).collect::<Vec<_>>(),
+            vec![107, 108, 109, 110]
+        );
+    }
+
+    #[test]
+    fn resolve_reissues_exclusions_with_fresh_serials() {
+        let buf = ReplayBuffer {
+            ops: (1..=8).map(|s| op(s, 100 + s)).collect(),
+        };
+        // Point at 6 excluding 2 and 5: replay {2, 5, 7, 8}, renumbered
+        // 7..=10, original order preserved.
+        let cp = CommitPoint {
+            version: 4,
+            until_serial: 6,
+            exclusions: vec![2, 5],
+        };
+        let replay = buf.resolve(&cp);
+        assert_eq!(
+            replay.iter().map(|o| (o.serial, o.key)).collect::<Vec<_>>(),
+            vec![(7, 102), (8, 105), (9, 107), (10, 108)]
+        );
+    }
+
+    #[test]
+    fn resolve_empty_when_fully_covered() {
+        let buf = ReplayBuffer {
+            ops: (1..=5).map(|s| op(s, s)).collect(),
+        };
+        assert!(buf.resolve(&CommitPoint::prefix(1, 5)).is_empty());
+        assert!(ReplayBuffer::default()
+            .resolve(&CommitPoint::prefix(0, 0))
+            .is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Network sessions for CPR engines (paper Sec. 2: the client contract).
+//!
+//! The paper's recovery guarantee is phrased per *client session*: each
+//! session numbers its operations and, after a failure, learns a commit
+//! point `t` such that exactly the prefix of its ops up to `t` (minus
+//! any exclusions) survived. This crate makes that contract literal by
+//! putting the client on the other side of a socket:
+//!
+//! - [`wire`] — a length-prefixed binary protocol carrying op batches
+//!   tagged with client-assigned serials, checkpoint requests, scans,
+//!   and server-pushed [`cpr_core::CommitPoint`] notifications;
+//! - [`engine`] — the [`engine::NetEngine`] trait adapting both engines
+//!   ([`cpr_faster::FasterKv`] and [`cpr_memdb::MemDb`]) to the server;
+//! - [`server`] — a thread-per-connection server mapping each connection
+//!   onto an epoch-protected engine session;
+//! - [`client`] — a pipelining client that buffers the un-durable suffix
+//!   of its op stream and, on reconnect, replays exactly the ops beyond
+//!   the recovered commit point.
+
+pub mod client;
+pub mod engine;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, OpResult, ReplayBuffer};
+pub use engine::{NetEngine, NetSession};
+pub use server::NetServer;
+pub use wire::{checkpoint_variant, Frame, OpKind, OpStatus, WireOp};

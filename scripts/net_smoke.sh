@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Server-crash smoke test for the network sessions subsystem (DESIGN.md
+# "Network sessions"). Builds the real server and smoke-driver binaries,
+# then for each engine x checkpoint-variant combination:
+#
+#   start cpr-net-server -> drive 200 ops (first 100 made durable by a
+#   checkpoint) -> request a second checkpoint and SIGKILL the server the
+#   moment it starts -> restart on the same directory -> verify the
+#   recovered state is exactly the committed prefix and that a
+#   reconnecting client replays exactly the uncommitted suffix.
+#
+# Exits non-zero if any scenario violates the CPR resume contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${PROFILE:-release}"
+cargo build --quiet --"$PROFILE" -p cpr-net --bins
+BIN="target/$PROFILE"
+
+run() {
+    local engine="$1" variant="$2"
+    local dir
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    echo "[net-smoke] engine=$engine variant=$variant dir=$dir"
+    "$BIN/cpr-net-smoke" \
+        --server "$BIN/cpr-net-server" \
+        --dir "$dir" --engine "$engine" --variant "$variant"
+}
+
+run faster fold-over
+run faster snapshot
+run memdb fold-over
+echo "[net-smoke] all scenarios passed"
