@@ -71,8 +71,10 @@ pub fn usage() -> String {
      \u{20}       ycsb also takes [--metrics-out PATH] (writes a combined JSON metrics report)\n\
      \u{20}       and [--overhead true|only] (disabled-vs-enabled registry A/B on the FASTER run)\n\
      \u{20}       net also takes [--engine faster|memdb] [--batch B] [--window W] [--read-pct P]\n\
+     \u{20}       recovery also takes [--log-mb M] [--write-latency-us U] [--read-latency-us U]\n\
+     \u{20}       and [--out PATH] (flush/recovery scaling report, default BENCH_recovery.json)\n\
      experiments: fig02 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 phases ablation \
-     extra stragglers ycsb net all"
+     extra stragglers ycsb net recovery all"
         .to_string()
 }
 

@@ -5,5 +5,6 @@ pub mod extra;
 pub mod faster_figs;
 pub mod memdb_figs;
 pub mod net;
+pub mod recovery;
 pub mod stragglers;
 pub mod ycsb;

@@ -43,6 +43,7 @@ fn main() {
         "stragglers" => experiments::stragglers::stragglers(&args),
         "net" => experiments::net::net(&args),
         "ycsb" => experiments::ycsb::ycsb(&args),
+        "recovery" => experiments::recovery::recovery(&args),
         "all" => {
             experiments::memdb_figs::fig02(&args);
             experiments::memdb_figs::fig10(&args);

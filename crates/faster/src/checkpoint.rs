@@ -97,11 +97,13 @@ fn try_wait_flush<V: Pod>(
     }
 
     let lhe = hl.tail();
+    let flush_t0 = inner.metrics_on.then(std::time::Instant::now);
     let mut snapshot_start = None;
     match ctx.variant {
         CheckpointVariant::FoldOver => {
             // Advance the read-only offset to the tail: every version-v
-            // record becomes immutable and is flushed to the main log.
+            // record becomes immutable and is flushed to the main log
+            // (chunked across the device's writer queues).
             hl.shift_read_only_to(lhe);
             hl.wait_flushed(lhe).ok()?;
         }
@@ -118,6 +120,15 @@ fn try_wait_flush<V: Pod>(
         }
     }
     hl.device().sync().ok()?;
+    if let Some(t0) = flush_t0 {
+        let name = match ctx.variant {
+            CheckpointVariant::FoldOver => "flush.fold-over",
+            CheckpointVariant::Snapshot => "flush.snapshot",
+        };
+        inner
+            .metrics
+            .record_phase(name, inner.write_queues, t0.elapsed());
+    }
 
     let kind = match ctx.variant {
         CheckpointVariant::FoldOver => CheckpointKind::FoldOver,

@@ -129,6 +129,11 @@ struct FlushState {
     inflight: Vec<InflightFlush>,
 }
 
+/// Granularity of checkpoint-flush scatter-gather writes. Ranges at or
+/// below one chunk issue exactly one buffer, so small (test-sized)
+/// flushes behave byte-for-byte like the old single-write path.
+const FLUSH_CHUNK_BYTES: u64 = 1 << 20;
+
 struct InflightFlush {
     start: u64,
     target: u64,
@@ -369,15 +374,25 @@ impl HybridLog {
         );
     }
 
-    /// Queue device writes for `[enqueued, target)`.
+    /// Queue device writes for `[enqueued, target)` as one scatter-gather
+    /// write of [`FLUSH_CHUNK_BYTES`]-sized buffers: on a pooled device
+    /// the chunks land on different writer queues and flush in parallel,
+    /// while a fault-injecting decorator still counts the whole range as
+    /// a single operation (its `write_vectored_at` concatenates).
     fn enqueue_flush(&self, target: Address) {
         let mut st = self.flush_state.lock();
         if st.enqueued >= target {
             return;
         }
         let start = st.enqueued;
-        let data = self.copy_range(start, target);
-        let handle = self.device.write_at(start, data);
+        let mut bufs = Vec::new();
+        let mut at = start;
+        while at < target {
+            let next = (at + FLUSH_CHUNK_BYTES).min(target);
+            bufs.push(self.copy_range(at, next));
+            at = next;
+        }
+        let handle = self.device.write_vectored_at(start, bufs);
         st.inflight.push(InflightFlush {
             start,
             target,
@@ -410,11 +425,17 @@ impl HybridLog {
                 Err(_) => {
                     self.flush_failures.fetch_add(1, Ordering::AcqRel);
                     let (start, target) = (f.start, f.target);
-                    let data = self.copy_range(start, target);
+                    let mut bufs = Vec::new();
+                    let mut at = start;
+                    while at < target {
+                        let next = (at + FLUSH_CHUNK_BYTES).min(target);
+                        bufs.push(self.copy_range(at, next));
+                        at = next;
+                    }
                     st.inflight[0] = InflightFlush {
                         start,
                         target,
-                        handle: self.device.write_at(start, data),
+                        handle: self.device.write_vectored_at(start, bufs),
                     };
                     break;
                 }
@@ -471,7 +492,10 @@ impl HybridLog {
     /// bypassing in-memory frames. Only valid below [`Self::head`]:
     /// after [`Self::restore_at`] the recovered prefix exists *only* on
     /// the device (the tail page's frame is zeroed), so frame-first
-    /// reads of that region see slack.
+    /// reads of that region see slack. The [`Device::read_at`] contract
+    /// zero-fills past the physical end of the file, so a freshly
+    /// truncated or sparse `log.dat` reads as "no record" rather than
+    /// failing with a short read.
     pub fn read_durable(&self, start: Address, end: Address) -> io::Result<Vec<u8>> {
         assert!(start <= end);
         let mut buf = vec![0u8; (end - start) as usize];

@@ -12,23 +12,79 @@
 //! * a record with version v + 1 is marked invalid on the device, and any
 //!   slot pointing at or beyond it is unlinked to the record's previous
 //!   address — the UNDO of FASTER recovery.
+//!
+//! ## Partitioned scan
+//!
+//! The `[S, E)` scan is embarrassingly parallel: `[S, E)` is split into
+//! page-aligned chunks pulled from a shared counter by
+//! `recovery_threads` workers. Each worker reduces its chunks to a
+//! per-slot summary — `(max valid address, lowest v + 1 address and its
+//! prev pointer)` — and issues the idempotent invalid-marker writes for
+//! its own chunks. The summaries merge with `(max, min-by-address)`,
+//! which is commutative and associative, and are applied to the index
+//! sequentially in sorted hash order. The same collect-then-merge path
+//! runs at every thread count (including 1), so the recovered index and
+//! log bytes are identical no matter how many workers ran.
+//!
+//! ## Crash safety of recovery itself
+//!
+//! Recovery may be killed and re-run: snapshot normalization always
+//! re-copies `snapshot.dat` into the main log and syncs it *before* the
+//! index is loaded or scanned, so a crash mid-normalization just means
+//! the next attempt re-copies the same committed bytes; invalid-marker
+//! writes are 8-byte header rewrites of fixed content at fixed
+//! addresses, so replaying them is a no-op. When
+//! [`FasterOptions::fault`] is set, the log device and checkpoint reads
+//! are routed through the injector so tests can crash recovery at a
+//! chosen read or write.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cpr_core::{CheckpointKind, CheckpointManifest, Pod};
-use cpr_storage::{CheckpointStore, Device, FileDevice};
+use cpr_storage::{CheckpointStore, Device, FaultDevice, FileDevice};
 
 use crate::addr::PageLayout;
 use crate::header::{version13, Header, RecordLayout};
 use crate::index::{key_hash, HashIndex};
 use crate::store::{FasterKv, FasterOptions};
 
+/// Target bytes per scan chunk / normalization write. One device read
+/// per chunk; small enough to spread a log across workers, large enough
+/// to amortize per-read latency.
+const RECOVERY_CHUNK_BYTES: u64 = 1 << 20;
+
+/// What the scan learned about one hash slot: the fold of every record
+/// for the slot in address order, reduced to the two numbers the apply
+/// phase needs. Merging two summaries is `(max, min-by-address)`.
+#[derive(Clone, Copy, Default)]
+struct SlotOutcome {
+    /// Highest address of a valid version-≤v record.
+    max_valid: Option<u64>,
+    /// Lowest-addressed version-v+1 record: `(address, prev pointer)`.
+    min_invalid: Option<(u64, u64)>,
+}
+
+impl SlotOutcome {
+    fn merge(&mut self, other: SlotOutcome) {
+        if let Some(a) = other.max_valid {
+            self.max_valid = Some(self.max_valid.map_or(a, |b| b.max(a)));
+        }
+        if let Some((a, p)) = other.min_invalid {
+            self.min_invalid = Some(match self.min_invalid {
+                Some((b, q)) if b < a => (b, q),
+                _ => (a, p),
+            });
+        }
+    }
+}
+
 pub(crate) fn recover<V: Pod>(
     opts: FasterOptions<V>,
 ) -> io::Result<(FasterKv<V>, Option<CheckpointManifest>)> {
-    let cs = CheckpointStore::open(opts.dir.join("checkpoints"))?;
+    let cs = CheckpointStore::open_with(opts.dir.join("checkpoints"), opts.fault.clone())?;
     let m_log = cs.latest_matching(|m| {
         matches!(m.kind, CheckpointKind::FoldOver | CheckpointKind::Snapshot)
     })?;
@@ -37,17 +93,40 @@ pub(crate) fn recover<V: Pod>(
         return Ok((FasterKv::open_inner(opts)?, None));
     };
 
-    let device: Arc<dyn Device> = Arc::new(FileDevice::open(opts.dir.join("log.dat"))?);
+    let metrics_on = opts.metrics.is_enabled();
+    let base: Arc<dyn Device> = Arc::new(FileDevice::open_with(
+        opts.dir.join("log.dat"),
+        opts.write_queues,
+        opts.io_profile,
+    )?);
+    let device: Arc<dyn Device> = match &opts.fault {
+        Some(inj) => Arc::new(FaultDevice::new(base, Arc::clone(inj))),
+        None => base,
+    };
 
     // Normalize a snapshot commit into the main log file so a single
-    // contiguous source covers [0, E).
+    // contiguous source covers [0, E). Idempotent and re-runnable: the
+    // full snapshot is re-copied unconditionally (a previous recovery
+    // attempt may have died mid-copy), and it is synced before anything
+    // below reads the log.
     if m_log.kind == CheckpointKind::Snapshot {
+        let t0 = metrics_on.then(std::time::Instant::now);
         let start = m_log
             .snapshot_start
             .expect("snapshot manifest has snapshot_start");
-        let bytes = std::fs::read(cs.file(m_log.token, "snapshot.dat"))?;
-        device.write_at(start, bytes).wait()?;
+        let bytes = cs.read_file(m_log.token, "snapshot.dat")?;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let end = (off + RECOVERY_CHUNK_BYTES as usize).min(bytes.len());
+            device
+                .write_at(start + off as u64, bytes[off..end].to_vec())
+                .wait()?;
+            off = end;
+        }
         device.sync()?;
+        if let Some(t0) = t0 {
+            opts.metrics.record_phase("recovery.normalize", 1, t0.elapsed());
+        }
     }
 
     // Newest usable index checkpoint (the log checkpoint itself if full).
@@ -57,7 +136,7 @@ pub(crate) fn recover<V: Pod>(
         cs.latest_matching(|m| m.token <= m_log.token && m.index_begin.is_some())?
     };
     let index = match &m_idx {
-        Some(mi) => HashIndex::load(&std::fs::read(cs.file(mi.token, "index.dat"))?)?,
+        Some(mi) => HashIndex::load(&cs.read_file(mi.token, "index.dat")?)?,
         None => HashIndex::new(opts.index_buckets),
     };
 
@@ -77,66 +156,37 @@ pub(crate) fn recover<V: Pod>(
         .min(lhs)
         .max(begin);
 
-    // Scan [s, e) page by page.
-    let mut addr = s;
-    let psz = layout.page_size();
-    let mut page_buf: Vec<u8> = Vec::new();
-    let mut cur_page = u64::MAX;
-    while addr + rec_size <= e.max(addr) && addr < e {
-        // Records never straddle pages; skip page-tail slack.
-        if layout.offset(addr) + rec_size > psz {
-            addr = layout.page_start(layout.page(addr) + 1);
-            continue;
-        }
-        let page = layout.page(addr);
-        if page != cur_page {
-            let start = layout.page_start(page).max(s);
-            let end = layout.page_start(page + 1).min(e);
-            page_buf.clear();
-            page_buf.resize((end - start) as usize, 0);
-            device.read_at(start, &mut page_buf)?;
-            cur_page = page;
-        }
-        let base = (addr - layout.page_start(page).max(s)) as usize;
-        if base + rec_size as usize > page_buf.len() {
-            break; // truncated tail
-        }
-        let word = u64::from_le_bytes(page_buf[base..base + 8].try_into().unwrap());
-        if word == 0 {
-            // Unwritten slack: nothing else in this page.
-            addr = layout.page_start(page + 1);
-            continue;
-        }
-        let h = Header::unpack(word);
-        let key = u64::from_le_bytes(page_buf[base + 8..base + 16].try_into().unwrap());
-        let slot = index.find_or_create(key_hash(key));
-        if h.version != vnext13 && !h.invalid {
-            // Part of the commit: the scan is in address order, so this is
-            // the newest version-≤v record so far for its slot.
-            loop {
-                let cur = slot.address();
-                if slot.try_update(cur, addr) {
-                    break;
-                }
-            }
-        } else {
-            // Post-CPR-point record: mark invalid on the device and unlink
-            // the slot if it points at or beyond it.
-            let inv = Header { invalid: true, ..h };
-            device.write_at(addr, inv.pack().to_le_bytes().to_vec());
-            loop {
-                let cur = slot.address();
-                if cur < addr {
-                    break;
-                }
-                if slot.try_update(cur, h.prev) {
-                    break;
-                }
+    // Scan [s, e): page-aligned chunks handed to a worker pool, merged
+    // into one per-slot summary map.
+    let threads = opts.recovery_threads.max(1);
+    let t_scan = metrics_on.then(std::time::Instant::now);
+    let merged = scan_partitioned(&device, &layout, rec_size, vnext13, s, e, threads)?;
+    if let Some(t0) = t_scan {
+        opts.metrics.record_phase("recovery.scan", threads, t0.elapsed());
+    }
+
+    // Apply summaries to the index in sorted hash order (BTreeMap
+    // iteration), so slot creation order — and therefore the index dump
+    // bytes — do not depend on worker scheduling.
+    let t_apply = metrics_on.then(std::time::Instant::now);
+    for (hash, o) in &merged {
+        let slot = index.find_or_create(*hash);
+        loop {
+            let cur = slot.address();
+            let new = match (o.max_valid, o.min_invalid) {
+                (Some(mv), _) => mv,
+                (None, Some((ia, prev))) if cur >= ia => prev,
+                _ => break,
+            };
+            if new == cur || slot.try_update(cur, new) {
+                break;
             }
         }
-        addr += rec_size;
     }
     device.sync()?;
+    if let Some(t0) = t_apply {
+        opts.metrics.record_phase("recovery.apply", 1, t0.elapsed());
+    }
 
     let sessions: HashMap<u64, u64> = m_log
         .sessions
@@ -147,4 +197,141 @@ pub(crate) fn recover<V: Pod>(
     let kv = FasterKv::build(opts, device, Some((index, v + 1, sessions)))?;
     kv.inner.hlog.restore_at(e);
     Ok((kv, Some(m_log)))
+}
+
+/// Scan `[s, e)` with `threads` workers over page-aligned chunks and
+/// return the merged per-slot summaries. Workers also rewrite the
+/// headers of version-v+1 records with the invalid bit set (idempotent
+/// 8-byte writes at disjoint addresses; chunks never split a record).
+fn scan_partitioned(
+    device: &Arc<dyn Device>,
+    layout: &PageLayout,
+    rec_size: u64,
+    vnext13: u64,
+    s: u64,
+    e: u64,
+    threads: usize,
+) -> io::Result<BTreeMap<u64, SlotOutcome>> {
+    if s >= e {
+        return Ok(BTreeMap::new());
+    }
+    let psz = layout.page_size();
+    let chunk_pages = (RECOVERY_CHUNK_BYTES / psz).max(1);
+    let chunk_bytes = chunk_pages * psz;
+    let chunk0 = layout.page_start(layout.page(s));
+    let nchunks = (e - chunk0).div_ceil(chunk_bytes);
+
+    let next = AtomicU64::new(0);
+    let failed = AtomicBool::new(false);
+    let worker = |_w: usize| -> io::Result<BTreeMap<u64, SlotOutcome>> {
+        let mut local: BTreeMap<u64, SlotOutcome> = BTreeMap::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut markers: Vec<cpr_storage::IoHandle> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= nchunks || failed.load(Ordering::Acquire) {
+                break;
+            }
+            let cstart = (chunk0 + i * chunk_bytes).max(s);
+            let cend = (chunk0 + (i + 1) * chunk_bytes).min(e);
+            if cstart >= cend {
+                continue;
+            }
+            buf.clear();
+            buf.resize((cend - cstart) as usize, 0);
+            device.read_at(cstart, &mut buf)?;
+            scan_chunk(
+                &buf, cstart, cend, layout, rec_size, vnext13, device, &mut local, &mut markers,
+            );
+        }
+        for m in markers {
+            m.wait()?;
+        }
+        Ok(local)
+    };
+
+    let results: Vec<io::Result<BTreeMap<u64, SlotOutcome>>> = if threads == 1 {
+        vec![worker(0)]
+    } else {
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let worker = &worker;
+                    let failed = &failed;
+                    sc.spawn(move || {
+                        let r = worker(w);
+                        if r.is_err() {
+                            failed.store(true, Ordering::Release);
+                        }
+                        r
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("recovery worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut merged: BTreeMap<u64, SlotOutcome> = BTreeMap::new();
+    for r in results {
+        for (hash, o) in r? {
+            merged.entry(hash).or_default().merge(o);
+        }
+    }
+    Ok(merged)
+}
+
+/// Reduce one chunk's records into `local`, issuing invalid-marker
+/// writes for version-v+1 records (completion handles are pushed to
+/// `markers`; the caller waits them so injected write faults surface).
+#[allow(clippy::too_many_arguments)]
+fn scan_chunk(
+    buf: &[u8],
+    cstart: u64,
+    cend: u64,
+    layout: &PageLayout,
+    rec_size: u64,
+    vnext13: u64,
+    device: &Arc<dyn Device>,
+    local: &mut BTreeMap<u64, SlotOutcome>,
+    markers: &mut Vec<cpr_storage::IoHandle>,
+) {
+    let psz = layout.page_size();
+    let mut addr = cstart;
+    while addr < cend && addr + rec_size <= cend {
+        // Records never straddle pages; skip page-tail slack.
+        if layout.offset(addr) + rec_size > psz {
+            addr = layout.page_start(layout.page(addr) + 1);
+            continue;
+        }
+        let base = (addr - cstart) as usize;
+        let word = u64::from_le_bytes(buf[base..base + 8].try_into().unwrap());
+        if word == 0 {
+            // Unwritten slack: nothing else in this page.
+            addr = layout.page_start(layout.page(addr) + 1);
+            continue;
+        }
+        let h = Header::unpack(word);
+        let key = u64::from_le_bytes(buf[base + 8..base + 16].try_into().unwrap());
+        let entry = local.entry(key_hash(key)).or_default();
+        if h.version != vnext13 && !h.invalid {
+            // Part of the commit: later addresses win.
+            entry.merge(SlotOutcome {
+                max_valid: Some(addr),
+                min_invalid: None,
+            });
+        } else {
+            // Post-CPR-point record: mark invalid on the device and
+            // remember the unlink target — the UNDO of FASTER recovery.
+            let inv = Header { invalid: true, ..h };
+            markers.push(device.write_at(addr, inv.pack().to_le_bytes().to_vec()));
+            entry.merge(SlotOutcome {
+                max_valid: None,
+                min_invalid: Some((addr, h.prev)),
+            });
+        }
+        addr += rec_size;
+    }
 }

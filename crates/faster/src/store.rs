@@ -16,7 +16,7 @@ use cpr_core::{
 use cpr_epoch::EpochManager;
 use cpr_metrics::{MetricsReport, Registry};
 use cpr_storage::{
-    CheckpointStore, Device, FaultDevice, FaultInjector, FileDevice, MeteredDevice,
+    CheckpointStore, Device, FaultDevice, FaultInjector, FileDevice, IoProfile, MeteredDevice,
 };
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
@@ -59,6 +59,17 @@ pub struct FasterOptions<V: Pod> {
     pub grain: VersionGrain,
     pub max_sessions: usize,
     pub io_threads: usize,
+    /// Writer queues for the log device: checkpoint flushes stripe their
+    /// chunks across this many background writer threads. Defaults to
+    /// the `CPR_IO_THREADS` environment variable (1 when unset).
+    pub write_queues: usize,
+    /// Worker threads for the recovery scan of `[S, E)`. Defaults to the
+    /// `CPR_IO_THREADS` environment variable (1 when unset). The
+    /// recovered state is byte-identical at any thread count.
+    pub recovery_threads: usize,
+    /// Simulated device speed profile for the log device (benchmarks);
+    /// defaults to [`IoProfile::NONE`] (real hardware speed).
+    pub io_profile: IoProfile,
     /// RMW semantics: `new = rmw(old, input)`; a missing key starts from
     /// `input`.
     pub rmw: fn(V, V) -> V,
@@ -98,6 +109,9 @@ impl<V: Pod> FasterOptions<V> {
             grain: VersionGrain::Fine,
             max_sessions: 64,
             io_threads: 2,
+            write_queues: cpr_storage::env_io_threads(),
+            recovery_threads: cpr_storage::env_io_threads(),
+            io_profile: IoProfile::NONE,
             rmw: |_old, input| input,
             fault: None,
             liveness: None,
@@ -220,6 +234,22 @@ impl<V: Pod> FasterBuilder<V> {
         self.opts.io_threads = n;
         self
     }
+    /// Writer queues for the log device (checkpoint-flush striping).
+    pub fn write_queues(mut self, n: usize) -> Self {
+        self.opts.write_queues = n.max(1);
+        self
+    }
+    /// Worker threads for the recovery scan (see
+    /// [`FasterOptions::recovery_threads`]).
+    pub fn recovery_threads(mut self, n: usize) -> Self {
+        self.opts.recovery_threads = n.max(1);
+        self
+    }
+    /// Simulated device speed profile for the log device (benchmarks).
+    pub fn io_profile(mut self, profile: IoProfile) -> Self {
+        self.opts.io_profile = profile;
+        self
+    }
     /// RMW semantics: `new = rmw(old, input)`; a missing key starts from
     /// `input`.
     pub fn rmw(mut self, f: fn(V, V) -> V) -> Self {
@@ -333,6 +363,8 @@ pub(crate) struct StoreInner<V: Pod> {
     pub(crate) commit_callbacks: Mutex<Vec<CommitCallback>>,
     pub(crate) refresh_every: u64,
     pub(crate) grain: VersionGrain,
+    /// Log-device writer queues (for flush phase-timing attribution).
+    pub(crate) write_queues: usize,
     pub(crate) rmw: fn(V, V) -> V,
     pub(crate) value_words: usize,
     /// Observability sink (no-op unless enabled at open time).
@@ -375,7 +407,11 @@ impl<V: Pod> FasterKv<V> {
 
     pub(crate) fn open_inner(opts: FasterOptions<V>) -> io::Result<Self> {
         std::fs::create_dir_all(&opts.dir)?;
-        let base: Arc<dyn Device> = Arc::new(FileDevice::create(opts.dir.join("log.dat"))?);
+        let base: Arc<dyn Device> = Arc::new(FileDevice::create_with(
+            opts.dir.join("log.dat"),
+            opts.write_queues,
+            opts.io_profile,
+        )?);
         let device: Arc<dyn Device> = match &opts.fault {
             Some(inj) => Arc::new(FaultDevice::new(base, Arc::clone(inj))),
             None => base,
@@ -451,6 +487,7 @@ impl<V: Pod> FasterKv<V> {
             commit_callbacks: Mutex::new(Vec::new()),
             refresh_every: opts.refresh_every,
             grain: opts.grain,
+            write_queues: opts.write_queues,
             rmw: opts.rmw,
             value_words: crate::header::RecordLayout::new(opts.hlog.value_size).value_words(),
             metrics: opts.metrics,
@@ -607,6 +644,19 @@ impl<V: Pod> FasterKv<V> {
     /// HybridLog tail (log growth metric of Fig. 12d / 18d).
     pub fn log_tail(&self) -> u64 {
         self.inner.hlog.tail()
+    }
+
+    /// FNV-1a digest of the serialized hash index. Two stores whose
+    /// recovered indexes are byte-identical have equal digests, so this is
+    /// the cheap cross-check that recovery lands on the same state no
+    /// matter how many threads scanned the log.
+    pub fn index_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.inner.index.dump() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Bytes written to the main log device so far.

@@ -25,6 +25,7 @@ use cpr_core::{CheckpointKind, CheckpointManifest, Phase, SessionCpr};
 use cpr_storage::CheckpointStore;
 
 use crate::db::DbInner;
+use crate::error::RecoveryError;
 use crate::value::DbValue;
 
 const FLAG_TOMBSTONE: u64 = 1;
@@ -82,6 +83,11 @@ pub(crate) fn capture<V: DbValue>(inner: &DbInner<V>, v: u64) {
 /// The fallible body of capture. Returns the committed token and the
 /// manifest's session points, or `None` if any I/O step failed (the
 /// partial checkpoint is aborted).
+///
+/// Serialization is bucket-sharded across `capture_threads` workers;
+/// concatenating the shards in bucket order reproduces exactly the
+/// sequential [`Table::for_each`](crate::Table::for_each) order, so the
+/// checkpoint bytes are identical at any thread count.
 fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<(u64, Vec<SessionCpr>)> {
     let store = inner.store.as_ref().expect("capture requires a store");
     let token = store.begin().ok()?;
@@ -94,12 +100,76 @@ fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<(u64, Vec<Sessi
         .then(|| *inner.last_capture_token.lock())
         .flatten();
 
+    let buckets = inner.table.bucket_count();
+    let threads = inner.opts.capture_threads.clamp(1, buckets.max(1));
+    let t0 = inner.opts.metrics.is_enabled().then(std::time::Instant::now);
+    let shards: Vec<Option<(Vec<u8>, u64)>> = if threads == 1 {
+        vec![capture_shard(inner, v, base, 0..buckets)]
+    } else {
+        std::thread::scope(|sc| {
+            (0..threads)
+                .map(|w| {
+                    let lo = buckets * w / threads;
+                    let hi = buckets * (w + 1) / threads;
+                    sc.spawn(move || capture_shard(inner, v, base, lo..hi))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("capture shard panicked"))
+                .collect()
+        })
+    };
+    if shards.iter().any(Option::is_none) || inner.capture_abort.swap(false, Ordering::AcqRel) {
+        let _ = store.abort(token);
+        return None;
+    }
     let mut buf: Vec<u8> =
         Vec::with_capacity(inner.table.len() * (16 + std::mem::size_of::<V>()) + 8);
     buf.extend_from_slice(&0u64.to_le_bytes()); // count patched below
     let mut count = 0u64;
+    for (bytes, n) in shards.into_iter().flatten() {
+        buf.extend_from_slice(&bytes);
+        count += n;
+    }
+    buf[..8].copy_from_slice(&count.to_le_bytes());
+    if let Some(t0) = t0 {
+        inner
+            .opts
+            .metrics
+            .record_phase("capture.serialize", threads, t0.elapsed());
+    }
+
+    let sessions = session_points(inner, v);
+    let result = (|| -> io::Result<()> {
+        store.write_file(token, "db.dat", &buf)?;
+        let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, v);
+        manifest.records = Some(count);
+        manifest.base = base;
+        manifest.sessions = sessions.clone();
+        store.commit(&manifest)
+    })();
+    if result.is_err() {
+        // No-op after a simulated crash: the frozen (possibly torn) state
+        // is exactly what recovery must cope with.
+        let _ = store.abort(token);
+        return None;
+    }
+    Some((token, sessions))
+}
+
+/// Serialize the version-`v` images of the records chained off buckets
+/// `range` (one capture worker's share). Returns the shard's bytes and
+/// record count, or `None` if the watchdog aborted the pass.
+fn capture_shard<V: DbValue>(
+    inner: &DbInner<V>,
+    v: u64,
+    base: Option<u64>,
+    range: std::ops::Range<usize>,
+) -> Option<(Vec<u8>, u64)> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut count = 0u64;
     let mut aborted = false;
-    inner.table.for_each(|key, rec| {
+    inner.table.for_each_in_buckets(range, |key, rec| {
         if aborted {
             return;
         }
@@ -142,28 +212,7 @@ fn try_capture<V: DbValue>(inner: &DbInner<V>, v: u64) -> Option<(u64, Vec<Sessi
         cpr_core::pod_write(&value, &mut buf);
         count += 1;
     });
-    if aborted || inner.capture_abort.swap(false, Ordering::AcqRel) {
-        let _ = store.abort(token);
-        return None;
-    }
-    buf[..8].copy_from_slice(&count.to_le_bytes());
-
-    let sessions = session_points(inner, v);
-    let result = (|| -> io::Result<()> {
-        store.write_file(token, "db.dat", &buf)?;
-        let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, v);
-        manifest.records = Some(count);
-        manifest.base = base;
-        manifest.sessions = sessions.clone();
-        store.commit(&manifest)
-    })();
-    if result.is_err() {
-        // No-op after a simulated crash: the frozen (possibly torn) state
-        // is exactly what recovery must cope with.
-        let _ = store.abort(token);
-        return None;
-    }
-    Some((token, sessions))
+    (!aborted).then_some((buf, count))
 }
 
 /// Per-session commit points for the manifest of version `v`: the newest
@@ -192,12 +241,18 @@ fn session_points<V: DbValue>(inner: &DbInner<V>, v: u64) -> Vec<SessionCpr> {
 }
 
 /// Load a checkpoint produced by [`capture`] into a fresh database.
+///
+/// The record entries are split across `recovery_threads` workers: every
+/// key appears at most once per checkpoint file, so workers touch
+/// disjoint records and the result is independent of thread count. A
+/// record found locked surfaces as [`RecoveryError::RecordLocked`]
+/// instead of a panic — recovery must be the table's only writer.
 pub(crate) fn load<V: DbValue>(
     inner: &DbInner<V>,
     store: &CheckpointStore,
     manifest: &CheckpointManifest,
 ) -> io::Result<()> {
-    let data = std::fs::read(store.file(manifest.token, "db.dat"))?;
+    let data = store.read_file(manifest.token, "db.dat")?;
     let rec_size = 16 + std::mem::size_of::<V>();
     if data.len() < 8 {
         return Err(io::Error::new(
@@ -212,34 +267,71 @@ pub(crate) fn load<V: DbValue>(
             format!("checkpoint expects {count} records, file too short"),
         ));
     }
-    let mut off = 8;
-    for _ in 0..count {
-        let key = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
-        let flags = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap());
-        let value: V = cpr_core::pod_read(&data[off + 16..off + rec_size]);
-        // Delta chains re-load keys: later (newer) checkpoints overwrite.
-        let (rec, inserted) = inner.table.get_or_insert(key, manifest.version, value);
-        assert!(rec.lock.try_exclusive(), "recovery load is single-threaded");
-        rec.write_live(value);
-        rec.set_dead(flags & FLAG_TOMBSTONE != 0);
-        rec.set_birth_if_unset(manifest.version);
-        rec.set_modified(manifest.version);
-        rec.set_version(manifest.version);
-        rec.lock.release_exclusive();
-        let _ = inserted;
-        off += rec_size;
+
+    let load_range = |lo: usize, hi: usize| -> io::Result<()> {
+        let mut off = 8 + lo * rec_size;
+        for _ in lo..hi {
+            let key = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+            let flags = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap());
+            let value: V = cpr_core::pod_read(&data[off + 16..off + rec_size]);
+            // Delta chains re-load keys: later (newer) checkpoints
+            // overwrite.
+            let (rec, _inserted) = inner.table.get_or_insert(key, manifest.version, value);
+            if !rec.lock.try_exclusive() {
+                return Err(RecoveryError::RecordLocked { key }.into());
+            }
+            rec.write_live(value);
+            rec.set_dead(flags & FLAG_TOMBSTONE != 0);
+            rec.set_birth_if_unset(manifest.version);
+            rec.set_modified(manifest.version);
+            rec.set_version(manifest.version);
+            rec.lock.release_exclusive();
+            off += rec_size;
+        }
+        Ok(())
+    };
+
+    let threads = inner.opts.recovery_threads.clamp(1, count.max(1));
+    let t0 = inner.opts.metrics.is_enabled().then(std::time::Instant::now);
+    let result = if threads == 1 {
+        load_range(0, count)
+    } else {
+        std::thread::scope(|sc| {
+            (0..threads)
+                .map(|w| {
+                    let lo = count * w / threads;
+                    let hi = count * (w + 1) / threads;
+                    let load_range = &load_range;
+                    sc.spawn(move || load_range(lo, hi))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .try_for_each(|h| h.join().expect("load worker panicked"))
+        })
+    };
+    if let Some(t0) = t0 {
+        inner
+            .opts
+            .metrics
+            .record_phase("recovery.load", threads, t0.elapsed());
     }
-    Ok(())
+    result
 }
 
-/// Replay a WAL generation file: apply every redo record in append order.
+/// Replay a WAL generation file: apply every redo record in append order
+/// (replay stays sequential — later records overwrite earlier ones, so
+/// the order is semantic). A record found locked surfaces as
+/// [`RecoveryError::RecordLocked`] instead of a panic.
 pub(crate) fn replay_wal<V: DbValue>(inner: &DbInner<V>, path: &Path) -> io::Result<()> {
     if !path.exists() {
         return Ok(());
     }
     let version = inner.state.version();
+    // `Wal::replay`'s visitor cannot return errors; park the first one
+    // here and surface it after the walk.
+    let mut failed: Option<io::Error> = None;
     crate::wal::Wal::replay(path, |payload| {
-        if payload.len() < 8 {
+        if failed.is_some() || payload.len() < 8 {
             return;
         }
         let n = u64::from_le_bytes(payload[..8].try_into().unwrap()) as usize;
@@ -253,13 +345,53 @@ pub(crate) fn replay_wal<V: DbValue>(inner: &DbInner<V>, path: &Path) -> io::Res
             let flags = u64::from_le_bytes(payload[off + 8..off + 16].try_into().unwrap());
             let value: V = cpr_core::pod_read(&payload[off + 16..off + rec_size]);
             let (rec, _) = inner.table.get_or_insert(key, version, V::from_seed(0));
-            // Replay is single-threaded; locks still taken for discipline.
-            assert!(rec.lock.try_exclusive(), "replay is single-threaded");
+            if !rec.lock.try_exclusive() {
+                failed = Some(RecoveryError::RecordLocked { key }.into());
+                return;
+            }
             rec.write_live(value);
             rec.set_dead(flags & FLAG_TOMBSTONE != 0);
             rec.set_birth_if_unset(version);
             rec.lock.release_exclusive();
             off += rec_size;
         }
-    })
+    })?;
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Durability, MemDb};
+
+    /// A record held exclusively while recovery loads must surface as
+    /// [`RecoveryError::RecordLocked`], not a panic; releasing the lock
+    /// lets the same load succeed.
+    #[test]
+    fn load_surfaces_locked_record_as_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = CheckpointStore::open(dir.path().join("checkpoints")).unwrap();
+        let token = store.begin().unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes()); // count
+        buf.extend_from_slice(&7u64.to_le_bytes()); // key
+        buf.extend_from_slice(&0u64.to_le_bytes()); // flags
+        buf.extend_from_slice(&42u64.to_le_bytes()); // value
+        store.write_file(token, "db.dat", &buf).unwrap();
+        let mut manifest = CheckpointManifest::new(token, CheckpointKind::Database, 1);
+        manifest.records = Some(1);
+        store.commit(&manifest).unwrap();
+
+        let db: MemDb<u64> = MemDb::builder(Durability::None).open().unwrap();
+        let (rec, _) = db.inner.table.get_or_insert(7, 1, 0);
+        assert!(rec.lock.try_exclusive());
+        let err = load(&db.inner, &store, &manifest).unwrap_err();
+        assert!(err.to_string().contains("locked"), "{err}");
+        rec.lock.release_exclusive();
+        load(&db.inner, &store, &manifest).unwrap();
+        assert_eq!(db.read(7), Some(42));
+    }
 }

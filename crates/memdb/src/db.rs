@@ -87,6 +87,16 @@ pub struct MemDbOptions {
     /// ([`cpr_metrics::Registry::noop`]), which keeps the hot paths free
     /// of timing calls; pass [`cpr_metrics::Registry::new`] to collect.
     pub metrics: Arc<Registry>,
+    /// Worker threads serializing the stable version during checkpoint
+    /// capture (bucket-sharded; the checkpoint bytes are identical at any
+    /// thread count). Defaults to the `CPR_IO_THREADS` environment
+    /// variable (1 when unset).
+    pub capture_threads: usize,
+    /// Worker threads loading checkpoint files during recovery. Defaults
+    /// to the `CPR_IO_THREADS` environment variable (1 when unset). The
+    /// recovered state is identical at any thread count; WAL replay stays
+    /// sequential (its records are order-dependent).
+    pub recovery_threads: usize,
 }
 
 impl MemDbOptions {
@@ -110,6 +120,8 @@ impl MemDbOptions {
             fault: None,
             liveness: None,
             metrics: Registry::noop(),
+            capture_threads: cpr_storage::env_io_threads(),
+            recovery_threads: cpr_storage::env_io_threads(),
         }
     }
 
@@ -151,6 +163,14 @@ impl MemDbOptions {
     }
     pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
         self.metrics = registry;
+        self
+    }
+    pub fn capture_threads(mut self, n: usize) -> Self {
+        self.capture_threads = n.max(1);
+        self
+    }
+    pub fn recovery_threads(mut self, n: usize) -> Self {
+        self.recovery_threads = n.max(1);
         self
     }
 }
@@ -258,6 +278,20 @@ impl<V: DbValue> MemDbBuilder<V> {
     /// collect counters, latency histograms, and checkpoint timelines.
     pub fn metrics(mut self, registry: Arc<Registry>) -> Self {
         self.opts.metrics = registry;
+        self
+    }
+    /// Worker threads for checkpoint capture serialization (default: the
+    /// `CPR_IO_THREADS` environment variable, 1 when unset). The
+    /// checkpoint bytes are identical at any thread count.
+    pub fn capture_threads(mut self, n: usize) -> Self {
+        self.opts.capture_threads = n.max(1);
+        self
+    }
+    /// Worker threads for checkpoint load during recovery (default: the
+    /// `CPR_IO_THREADS` environment variable, 1 when unset). The
+    /// recovered state is identical at any thread count.
+    pub fn recovery_threads(mut self, n: usize) -> Self {
+        self.opts.recovery_threads = n.max(1);
         self
     }
     /// Escape hatch: the underlying [`MemDbOptions`].
@@ -458,7 +492,9 @@ impl<V: DbValue> MemDb<V> {
                 let dir = opts.dir.clone().ok_or_else(|| {
                     io::Error::new(io::ErrorKind::InvalidInput, "recover requires dir")
                 })?;
-                let store = CheckpointStore::open(&dir)?;
+                // Route recovery reads through the fault injector (when
+                // set) so crash-schedule tests can kill recovery itself.
+                let store = CheckpointStore::open_with(&dir, opts.fault.clone())?;
                 let Some(manifest) =
                     store.latest_matching(|m| m.kind == CheckpointKind::Database)?
                 else {

@@ -66,3 +66,34 @@ impl std::fmt::Display for CommitError {
 }
 
 impl std::error::Error for CommitError {}
+
+/// Why recovery could not complete. Recovery (checkpoint load and WAL
+/// replay) must be the only writer of the fresh table it is populating;
+/// a record found locked means another thread is mutating the database
+/// mid-recovery, and the load surfaces that as an error instead of
+/// asserting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// A record was exclusively locked while recovery tried to write it.
+    RecordLocked { key: u64 },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::RecordLocked { key } => write!(
+                f,
+                "record {key} is locked: recovery must be the only writer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<RecoveryError> for std::io::Error {
+    fn from(e: RecoveryError) -> Self {
+        std::io::Error::other(e)
+    }
+}

@@ -61,7 +61,7 @@ pub use cpr_core::liveness::{
 };
 pub use cpr_core::{CheckpointVersion, NoWaitLock, SessionInfo};
 pub use db::{Durability, MemDb, MemDbBuilder, MemDbOptions};
-pub use error::{Abort, CommitError};
+pub use error::{Abort, CommitError, RecoveryError};
 pub use record::Record;
 pub use stats::ClientStats;
 pub use table::Table;

@@ -139,8 +139,26 @@ impl<V: Pod> Table<V> {
     }
 
     /// Visit every (key, record). Iteration order is unspecified.
-    pub fn for_each(&self, mut f: impl FnMut(u64, &Record<V>)) {
-        for b in self.buckets.iter() {
+    pub fn for_each(&self, f: impl FnMut(u64, &Record<V>)) {
+        self.for_each_in_buckets(0..self.buckets.len(), f);
+    }
+
+    /// Number of buckets — the shard boundaries for partitioned scans
+    /// (see [`Table::for_each_in_buckets`]).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Visit every (key, record) chained off the buckets in `range`.
+    /// Disjoint ranges visit disjoint records, so workers can scan them
+    /// concurrently; concatenating the ranges `0..k`, `k..n` visits in
+    /// exactly the [`Table::for_each`] order.
+    pub fn for_each_in_buckets(
+        &self,
+        range: std::ops::Range<usize>,
+        mut f: impl FnMut(u64, &Record<V>),
+    ) {
+        for b in self.buckets[range].iter() {
             let mut cur = b.load(Ordering::Acquire);
             while !cur.is_null() {
                 // SAFETY: published nodes are valid.
@@ -222,6 +240,26 @@ mod tests {
             assert!(seen.insert(k));
         });
         assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn sharded_iteration_matches_for_each_order() {
+        let t: Table<u64> = Table::new(8);
+        for k in 0..200u64 {
+            t.insert(k, 1, k);
+        }
+        let mut whole = Vec::new();
+        t.for_each(|k, _| whole.push(k));
+        let n = t.bucket_count();
+        for shards in [1usize, 3, 8] {
+            let mut pieced = Vec::new();
+            for w in 0..shards {
+                t.for_each_in_buckets(n * w / shards..n * (w + 1) / shards, |k, _| {
+                    pieced.push(k)
+                });
+            }
+            assert_eq!(pieced, whole, "{shards} shards");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod tracer;
 pub use counter::ShardedCounter;
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use registry::{
-    EpochReport, MetricsReport, OpsReport, Registry, StorageReport,
+    EpochReport, MetricsReport, OpsReport, PhaseTiming, Registry, StorageReport,
 };
 pub use tracer::{CheckpointTimeline, PhaseSpan, PhaseTracer};
 

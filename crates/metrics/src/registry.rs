@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::counter::ShardedCounter;
@@ -52,6 +53,8 @@ pub struct Registry {
     pub checkpoints: PhaseTracer,
     epoch: EpochMetrics,
     storage: StorageMetrics,
+    /// One-shot named phase durations (recovery stages, bulk flushes).
+    phase_timings: Mutex<Vec<PhaseTiming>>,
 }
 
 impl Registry {
@@ -80,6 +83,7 @@ impl Registry {
                 queue_depth: AtomicI64::new(0),
                 max_queue_depth: AtomicU64::new(0),
             },
+            phase_timings: Mutex::new(Vec::new()),
         })
     }
 
@@ -183,6 +187,24 @@ impl Registry {
         self.storage.flush_latency.record(latency);
     }
 
+    // ---- one-shot phase timings ---------------------------------------------
+
+    /// Record one named coarse-grained phase (e.g. `recovery.scan`,
+    /// `flush.fold-over`) with the worker parallelism it ran at.
+    /// Cold-path only: recovery and checkpoint-flush stages, never
+    /// per-operation.
+    #[inline]
+    pub fn record_phase(&self, name: &str, threads: usize, elapsed: Duration) {
+        if !self.enabled {
+            return;
+        }
+        self.phase_timings.lock().push(PhaseTiming {
+            name: name.to_string(),
+            threads,
+            millis: elapsed.as_secs_f64() * 1e3,
+        });
+    }
+
     // ---- snapshot -----------------------------------------------------------
 
     /// Merge everything into a serializable report. Cheap enough to call
@@ -212,6 +234,7 @@ impl Registry {
                 flush_latency: self.storage.flush_latency.snapshot(),
                 faults_injected: 0,
             },
+            phase_timings: self.phase_timings.lock().clone(),
         }
     }
 }
@@ -235,6 +258,17 @@ pub struct MetricsReport {
     pub checkpoints: Vec<CheckpointTimeline>,
     pub epoch: EpochReport,
     pub storage: StorageReport,
+    /// Coarse recovery/flush stage durations, in record order.
+    pub phase_timings: Vec<PhaseTiming>,
+}
+
+/// One named recovery/flush stage: how long it took and at what worker
+/// parallelism it ran.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    pub name: String,
+    pub threads: usize,
+    pub millis: f64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -292,11 +326,26 @@ mod tests {
         r.checkpoints.begin(1, "cpr");
         r.checkpoints.mark(1, "in-progress");
         r.checkpoints.end(1, true, 1, 0, 0);
+        r.record_phase("recovery.scan", 4, Duration::from_millis(12));
         let json = serde_json::to_string_pretty(&r.snapshot()).unwrap();
         assert!(json.contains("\"commit_latency\""), "{json}");
         assert!(json.contains("\"in-progress\""), "{json}");
+        assert!(json.contains("\"recovery.scan\""), "{json}");
         let back: MetricsReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.ops.committed, 1);
         assert_eq!(back.checkpoints.len(), 1);
+        assert_eq!(back.phase_timings.len(), 1);
+        assert_eq!(back.phase_timings[0].threads, 4);
+    }
+
+    #[test]
+    fn phase_timings_round_trip() {
+        let r = Registry::new();
+        r.record_phase("flush.snapshot", 2, Duration::from_millis(7));
+        let json = serde_json::to_string(&r.snapshot()).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.phase_timings.len(), 1);
+        assert_eq!(back.phase_timings[0].name, "flush.snapshot");
+        assert!(back.phase_timings[0].millis >= 7.0);
     }
 }

@@ -104,10 +104,37 @@ impl CheckpointStore {
             }
         }
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, data)?;
+        Self::write_body(&tmp, data)?;
         fs::File::open(&tmp)?.sync_data()?;
         fs::rename(&tmp, path)?;
         Ok(())
+    }
+
+    /// Write the file body, striping large payloads across
+    /// `CPR_IO_THREADS` positioned writers. The fault verdict was already
+    /// drawn by the caller — whole-file atomicity (temp + rename) and
+    /// one-op accounting are unchanged; only the copy is parallel.
+    fn write_body(path: &Path, data: &[u8]) -> io::Result<()> {
+        const PARALLEL_THRESHOLD: usize = 8 << 20;
+        let threads = crate::device::env_io_threads();
+        if threads <= 1 || data.len() < PARALLEL_THRESHOLD {
+            return fs::write(path, data);
+        }
+        use std::os::unix::fs::FileExt;
+        let file = fs::File::create(path)?;
+        file.set_len(data.len() as u64)?;
+        let chunk = data.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut joins = Vec::with_capacity(threads);
+            for (i, slice) in data.chunks(chunk).enumerate() {
+                let file = &file;
+                joins.push(s.spawn(move || file.write_all_at(slice, (i * chunk) as u64)));
+            }
+            for j in joins {
+                j.join().expect("checkpoint writer panicked")?;
+            }
+            Ok(())
+        })
     }
 
     fn scan_tokens(root: &Path) -> io::Result<Vec<u64>> {
@@ -163,6 +190,25 @@ impl CheckpointStore {
     /// fault injection (one storage operation).
     pub fn write_file(&self, token: u64, name: &str, data: &[u8]) -> io::Result<()> {
         self.write_injected(&self.file(token, name), data)
+    }
+
+    /// Read a named data file from `token`'s directory, subject to read
+    /// fault injection (one *read* operation — see
+    /// [`FaultInjector::next_read_io`]). Recovery goes through this so a
+    /// test can kill recovery itself on a chosen checkpoint read.
+    pub fn read_file(&self, token: u64, name: &str) -> io::Result<Vec<u8>> {
+        if let Some(inj) = &self.injector {
+            match inj.next_read_io() {
+                IoVerdict::Ok => {}
+                IoVerdict::Delay { millis } => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                IoVerdict::Fail | IoVerdict::Crashed | IoVerdict::Torn { .. } => {
+                    return Err(inj.error());
+                }
+            }
+        }
+        fs::read(self.file(token, name))
     }
 
     /// Directory for `token`'s files.

@@ -1,14 +1,75 @@
 //! Asynchronous block devices.
+//!
+//! Writes are queued to background writer threads. [`FileDevice`] can run
+//! a *pool* of writer queues (see [`FileDevice::create_pooled`]): writes
+//! are routed to a queue by the 1 MiB stripe of their starting offset, so
+//! overlapping writes to the same region stay on one queue in issue
+//! order, while bulk flushes that span many stripes fan out across all
+//! queues. [`Device::sync`] is a completion barrier across every queue.
 
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
+
+/// Writes are striped over writer queues in units of this many bytes.
+/// Two writes whose start offsets share a stripe land on the same queue
+/// and therefore apply in issue order.
+pub const WRITE_STRIPE_BITS: u32 = 20;
+
+/// Writer-pool width taken from the `CPR_IO_THREADS` environment
+/// variable (also the default recovery-scan and capture parallelism in
+/// the engines). Defaults to 1 — fully serial, the behaviour every
+/// deterministic fault-schedule test was written against.
+pub fn env_io_threads() -> usize {
+    std::env::var("CPR_IO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 64))
+        .unwrap_or(1)
+}
+
+/// Simulated device speed: per-operation latencies plus write bandwidth.
+/// Used by benchmarks to model disk-like storage on hosts whose page
+/// cache would otherwise absorb everything.
+#[derive(Clone, Copy, Debug)]
+pub struct IoProfile {
+    /// Added to every write job, on the writer thread that executes it.
+    pub write_latency: Duration,
+    /// Added to every `read_at`, on the calling thread.
+    pub read_latency: Duration,
+    /// Bytes per second per writer queue (`u64::MAX` = unthrottled).
+    pub bandwidth: u64,
+}
+
+impl IoProfile {
+    pub const NONE: IoProfile = IoProfile {
+        write_latency: Duration::ZERO,
+        read_latency: Duration::ZERO,
+        bandwidth: u64::MAX,
+    };
+
+    fn throttle_write(&self, bytes: usize) {
+        if !self.write_latency.is_zero() {
+            std::thread::sleep(self.write_latency);
+        }
+        if self.bandwidth != u64::MAX && bytes > 0 {
+            let secs = bytes as f64 / self.bandwidth as f64;
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+    }
+}
+
+impl Default for IoProfile {
+    fn default() -> Self {
+        IoProfile::NONE
+    }
+}
 
 /// Completion handle for an asynchronous device operation.
 ///
@@ -55,6 +116,42 @@ impl IoHandle {
         let h = Self::pending();
         h.complete(Ok(()));
         h
+    }
+
+    /// A handle that completes when every handle in `handles` has —
+    /// successfully only if all succeeded (the first error message wins).
+    /// Scatter-gather writes return one of these.
+    pub fn join(handles: Vec<IoHandle>) -> Self {
+        if handles.is_empty() {
+            return Self::ready();
+        }
+        let out = Self::pending();
+        let remaining = Arc::new(AtomicUsize::new(handles.len()));
+        let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        for h in handles {
+            let out = out.clone();
+            let remaining = Arc::clone(&remaining);
+            let failure = Arc::clone(&failure);
+            let err_probe = h.clone();
+            h.on_complete(move |ok| {
+                if !ok {
+                    // The child already completed, so this does not block.
+                    let msg = err_probe
+                        .wait()
+                        .err()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "io failed".into());
+                    failure.lock().get_or_insert(msg);
+                }
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    out.complete(match failure.lock().take() {
+                        None => Ok(()),
+                        Some(msg) => Err(io::Error::other(msg)),
+                    });
+                }
+            });
+        }
+        out
     }
 
     /// Complete the operation (wakes all waiters, fires callbacks).
@@ -131,10 +228,30 @@ pub trait Device: Send + Sync + 'static {
     /// the data is durable.
     fn write_at(&self, offset: u64, data: Vec<u8>) -> IoHandle;
 
-    /// Read exactly `buf.len()` bytes at `offset`.
+    /// Queue `bufs` as one logical scatter-gather write: the buffers land
+    /// back to back starting at `offset`. The default concatenates into a
+    /// single [`Device::write_at`] — exactly one underlying write, which
+    /// is what the fault-injecting and metering decorators count as one
+    /// I/O. Pooled devices override this to fan the buffers out across
+    /// writer queues.
+    fn write_vectored_at(&self, offset: u64, bufs: Vec<Vec<u8>>) -> IoHandle {
+        let total = bufs.iter().map(Vec::len).sum();
+        let mut data = Vec::with_capacity(total);
+        for b in bufs {
+            data.extend_from_slice(&b);
+        }
+        self.write_at(offset, data)
+    }
+
+    /// Fill `buf` from `offset`. Reads past the physical end of the
+    /// device **zero-fill** the remainder rather than erroring — a
+    /// freshly truncated or sparse log reads as zeroes, which the
+    /// recovery scan treats as "no record". Every implementation (and
+    /// decorator) must preserve this.
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
 
-    /// Wait for all previously queued writes to be durable.
+    /// Wait for all previously queued writes (on every queue) to be
+    /// durable.
     fn sync(&self) -> io::Result<()>;
 
     /// One past the largest byte ever written.
@@ -155,77 +272,134 @@ enum Job {
     Shutdown,
 }
 
-/// File-backed device with a dedicated writer thread.
+/// File-backed device with a pool of dedicated writer threads.
+///
+/// With one queue (the default) this is exactly the old single-writer
+/// device: every write applies in issue order. With `n > 1` queues,
+/// writes are routed by offset stripe ([`WRITE_STRIPE_BITS`]), keeping
+/// same-region writes ordered while striped bulk flushes proceed in
+/// parallel; [`FileDevice::sync`] barriers all queues and then issues a
+/// single `fdatasync`.
 pub struct FileDevice {
     file: Arc<std::fs::File>,
-    tx: Sender<Job>,
-    writer: Mutex<Option<JoinHandle<()>>>,
+    txs: Vec<Sender<Job>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
     high_water: AtomicU64,
+    profile: IoProfile,
 }
 
 impl FileDevice {
-    /// Create (or truncate) the file at `path`.
+    /// Create (or truncate) the file at `path` with a single writer queue.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::create_pooled(path, 1)
+    }
+
+    /// Create (or truncate) the file at `path` with `queues` writer
+    /// threads.
+    pub fn create_pooled(path: impl AsRef<Path>, queues: usize) -> io::Result<Self> {
+        Self::create_with(path, queues, IoProfile::NONE)
+    }
+
+    /// [`FileDevice::create_pooled`] with a simulated speed profile.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        queues: usize,
+        profile: IoProfile,
+    ) -> io::Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self::from_file(file, 0))
+        Ok(Self::from_parts(file, 0, queues, profile))
     }
 
-    /// Open an existing file (e.g. for recovery).
+    /// Open an existing file (e.g. for recovery) with a single queue.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_pooled(path, 1)
+    }
+
+    /// Open an existing file with `queues` writer threads.
+    pub fn open_pooled(path: impl AsRef<Path>, queues: usize) -> io::Result<Self> {
+        Self::open_with(path, queues, IoProfile::NONE)
+    }
+
+    /// [`FileDevice::open_pooled`] with a simulated speed profile.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        queues: usize,
+        profile: IoProfile,
+    ) -> io::Result<Self> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .write(true)
             .open(path)?;
         let len = file.metadata()?.len();
-        Ok(Self::from_file(file, len))
+        Ok(Self::from_parts(file, len, queues, profile))
     }
 
-    fn from_file(file: std::fs::File, len: u64) -> Self {
+    fn from_parts(file: std::fs::File, len: u64, queues: usize, profile: IoProfile) -> Self {
+        let queues = queues.max(1);
         let file = Arc::new(file);
-        let (tx, rx) = unbounded::<Job>();
-        let wfile = Arc::clone(&file);
-        let writer = std::thread::Builder::new()
-            .name("cpr-file-writer".into())
-            .spawn(move || {
-                use std::os::unix::fs::FileExt;
-                for job in rx {
-                    match job {
-                        Job::Write {
-                            offset,
-                            data,
-                            handle,
-                        } => {
-                            let res = wfile.write_all_at(&data, offset);
-                            handle.complete(res);
+        let mut txs = Vec::with_capacity(queues);
+        let mut writers = Vec::with_capacity(queues);
+        for q in 0..queues {
+            let (tx, rx) = unbounded::<Job>();
+            let wfile = Arc::clone(&file);
+            let writer = std::thread::Builder::new()
+                .name(format!("cpr-file-writer-{q}"))
+                .spawn(move || {
+                    use std::os::unix::fs::FileExt;
+                    for job in rx {
+                        match job {
+                            Job::Write {
+                                offset,
+                                data,
+                                handle,
+                            } => {
+                                profile.throttle_write(data.len());
+                                let res = wfile.write_all_at(&data, offset);
+                                handle.complete(res);
+                            }
+                            // Queue-drain marker only; the caller issues
+                            // one fdatasync after *all* queues drain.
+                            Job::Barrier(handle) => handle.complete(Ok(())),
+                            Job::Shutdown => break,
                         }
-                        Job::Barrier(handle) => {
-                            handle.complete(wfile.sync_data());
-                        }
-                        Job::Shutdown => break,
                     }
-                }
-            })
-            .expect("spawn writer thread");
+                })
+                .expect("spawn writer thread");
+            txs.push(tx);
+            writers.push(writer);
+        }
         FileDevice {
             file,
-            tx,
-            writer: Mutex::new(Some(writer)),
+            txs,
+            writers: Mutex::new(writers),
             high_water: AtomicU64::new(len),
+            profile,
         }
     }
-}
 
-impl Device for FileDevice {
-    fn write_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
+    /// Number of writer queues.
+    pub fn queues(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn queue_for(&self, offset: u64) -> usize {
+        if self.txs.len() == 1 {
+            0
+        } else {
+            ((offset >> WRITE_STRIPE_BITS) as usize) % self.txs.len()
+        }
+    }
+
+    fn enqueue(&self, offset: u64, data: Vec<u8>) -> IoHandle {
         let handle = IoHandle::pending();
         self.high_water
             .fetch_max(offset + data.len() as u64, Ordering::AcqRel);
-        self.tx
+        self.txs[self.queue_for(offset)]
             .send(Job::Write {
                 offset,
                 data,
@@ -234,18 +408,55 @@ impl Device for FileDevice {
             .expect("writer thread alive");
         handle
     }
+}
+
+impl Device for FileDevice {
+    fn write_at(&self, offset: u64, data: Vec<u8>) -> IoHandle {
+        self.enqueue(offset, data)
+    }
+
+    fn write_vectored_at(&self, offset: u64, bufs: Vec<Vec<u8>>) -> IoHandle {
+        let mut handles = Vec::with_capacity(bufs.len());
+        let mut at = offset;
+        for data in bufs {
+            let next = at + data.len() as u64;
+            handles.push(self.enqueue(at, data));
+            at = next;
+        }
+        IoHandle::join(handles)
+    }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         use std::os::unix::fs::FileExt;
-        self.file.read_exact_at(buf, offset)
+        if !self.profile.read_latency.is_zero() {
+            std::thread::sleep(self.profile.read_latency);
+        }
+        let mut done = 0usize;
+        while done < buf.len() {
+            match self.file.read_at(&mut buf[done..], offset + done as u64) {
+                Ok(0) => {
+                    // Past the physical end: the rest reads as zeroes.
+                    buf[done..].fill(0);
+                    break;
+                }
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     fn sync(&self) -> io::Result<()> {
-        let handle = IoHandle::pending();
-        self.tx
-            .send(Job::Barrier(handle.clone()))
-            .expect("writer thread alive");
-        handle.wait()
+        let mut barriers = Vec::with_capacity(self.txs.len());
+        for tx in &self.txs {
+            let handle = IoHandle::pending();
+            tx.send(Job::Barrier(handle.clone()))
+                .expect("writer thread alive");
+            barriers.push(handle);
+        }
+        IoHandle::join(barriers).wait()?;
+        self.file.sync_data()
     }
 
     fn len(&self) -> u64 {
@@ -255,8 +466,10 @@ impl Device for FileDevice {
 
 impl Drop for FileDevice {
     fn drop(&mut self) {
-        let _ = self.tx.send(Job::Shutdown);
-        if let Some(w) = self.writer.lock().take() {
+        for tx in &self.txs {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for w in self.writers.lock().drain(..) {
             let _ = w.join();
         }
     }
@@ -279,6 +492,11 @@ impl MemDevice {
     /// large writes — together they approximate an SSD for experiments that
     /// care about flush duration (e.g. paper Fig. 12's 6-second flushes).
     pub fn with_profile(latency: Duration, bandwidth: u64) -> Arc<Self> {
+        let profile = IoProfile {
+            write_latency: latency,
+            read_latency: Duration::ZERO,
+            bandwidth,
+        };
         let (tx, rx) = unbounded::<Job>();
         let dev = Arc::new(MemDevice {
             data: RwLock::new(Vec::new()),
@@ -297,13 +515,7 @@ impl MemDevice {
                             data,
                             handle,
                         } => {
-                            if !latency.is_zero() {
-                                std::thread::sleep(latency);
-                            }
-                            if bandwidth != u64::MAX && !data.is_empty() {
-                                let secs = data.len() as f64 / bandwidth as f64;
-                                std::thread::sleep(Duration::from_secs_f64(secs));
-                            }
+                            profile.throttle_write(data.len());
                             let Some(dev) = weak.upgrade() else { break };
                             let end = offset as usize + data.len();
                             let mut store = dev.data.write();
@@ -342,14 +554,10 @@ impl Device for MemDevice {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         let store = self.data.read();
-        let end = offset as usize + buf.len();
-        if end > store.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("read past end: {} > {}", end, store.len()),
-            ));
-        }
-        buf.copy_from_slice(&store[offset as usize..end]);
+        let start = (offset as usize).min(store.len());
+        let n = (store.len() - start).min(buf.len());
+        buf[..n].copy_from_slice(&store[start..start + n]);
+        buf[n..].fill(0);
         Ok(())
     }
 
@@ -402,6 +610,14 @@ mod tests {
     }
 
     #[test]
+    fn pooled_file_device_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let dev = FileDevice::create_pooled(dir.path().join("log.dat"), 4).unwrap();
+        assert_eq!(dev.queues(), 4);
+        roundtrip(&dev);
+    }
+
+    #[test]
     fn file_device_reopen_preserves_data() {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("log.dat");
@@ -430,6 +646,58 @@ mod tests {
     }
 
     #[test]
+    fn pooled_writes_same_stripe_stay_ordered() {
+        let dir = tempfile::tempdir().unwrap();
+        let dev = FileDevice::create_pooled(dir.path().join("log.dat"), 4).unwrap();
+        for i in 0..100u8 {
+            dev.write_at(0, vec![i]);
+        }
+        dev.sync().unwrap();
+        let mut b = [0u8; 1];
+        dev.read_at(0, &mut b).unwrap();
+        assert_eq!(b[0], 99, "same-stripe writes route to one queue, in order");
+    }
+
+    #[test]
+    fn pooled_sync_barriers_every_queue() {
+        let dir = tempfile::tempdir().unwrap();
+        let dev = FileDevice::create_with(
+            dir.path().join("log.dat"),
+            4,
+            IoProfile {
+                write_latency: Duration::from_millis(3),
+                ..IoProfile::NONE
+            },
+        )
+        .unwrap();
+        let stripe = 1u64 << WRITE_STRIPE_BITS;
+        let handles: Vec<IoHandle> = (0..8)
+            .map(|i| dev.write_at(i * stripe, vec![i as u8; 16]))
+            .collect();
+        dev.sync().unwrap();
+        for h in &handles {
+            assert!(h.is_done(), "sync must drain every queue");
+        }
+    }
+
+    #[test]
+    fn write_vectored_matches_concatenated_write() {
+        let dir = tempfile::tempdir().unwrap();
+        let pooled = FileDevice::create_pooled(dir.path().join("a.dat"), 4).unwrap();
+        let mem = MemDevice::new();
+        let bufs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 100_000]).collect();
+        let flat: Vec<u8> = bufs.iter().flatten().copied().collect();
+        pooled.write_vectored_at(8, bufs.clone()).wait().unwrap();
+        mem.write_vectored_at(8, bufs).wait().unwrap();
+        for dev in [&pooled as &dyn Device, &*mem] {
+            let mut got = vec![0u8; flat.len()];
+            dev.read_at(8, &mut got).unwrap();
+            assert_eq!(got, flat);
+            assert_eq!(dev.len(), 8 + flat.len() as u64);
+        }
+    }
+
+    #[test]
     fn sync_waits_for_queued_writes() {
         let dev = MemDevice::with_profile(Duration::from_millis(5), u64::MAX);
         let h = dev.write_at(0, vec![7; 64]);
@@ -438,11 +706,34 @@ mod tests {
     }
 
     #[test]
-    fn read_past_end_errors() {
-        let dev = MemDevice::new();
-        dev.write_at(0, vec![1]).wait().unwrap();
-        let mut buf = [0u8; 8];
-        assert!(dev.read_at(0, &mut buf).is_err());
+    fn read_past_end_zero_fills() {
+        let dir = tempfile::tempdir().unwrap();
+        let file = FileDevice::create(dir.path().join("log.dat")).unwrap();
+        let mem = MemDevice::new();
+        for dev in [&file as &dyn Device, &*mem] {
+            dev.write_at(0, vec![7]).wait().unwrap();
+            // For the file device the byte must be on disk before the
+            // short read; the mem device applies it at write completion.
+            dev.sync().unwrap();
+            let mut buf = [0xffu8; 8];
+            dev.read_at(0, &mut buf).unwrap();
+            assert_eq!(buf, [7, 0, 0, 0, 0, 0, 0, 0], "tail zero-fills");
+            let mut past = [0xffu8; 4];
+            dev.read_at(100, &mut past).unwrap();
+            assert_eq!(past, [0; 4], "fully past-end read is all zeroes");
+        }
+    }
+
+    #[test]
+    fn join_handle_aggregates_errors() {
+        let ok = IoHandle::ready();
+        let bad = IoHandle::pending();
+        let joined = IoHandle::join(vec![ok, bad.clone()]);
+        assert!(!joined.is_done());
+        bad.complete(Err(io::Error::other("queue 3 exploded")));
+        let err = joined.wait().unwrap_err();
+        assert!(err.to_string().contains("queue 3 exploded"), "{err}");
+        assert!(IoHandle::join(Vec::new()).wait().is_ok());
     }
 
     #[test]
@@ -463,5 +754,18 @@ mod tests {
             start.elapsed() >= Duration::from_millis(80),
             "100 KB at 1 MB/s should take ~100 ms"
         );
+    }
+
+    #[test]
+    fn env_io_threads_parses_and_clamps() {
+        // Process-global env: this is the only test that touches it.
+        std::env::set_var("CPR_IO_THREADS", "4");
+        assert_eq!(env_io_threads(), 4);
+        std::env::set_var("CPR_IO_THREADS", "0");
+        assert_eq!(env_io_threads(), 1, "clamped up");
+        std::env::set_var("CPR_IO_THREADS", "nonsense");
+        assert_eq!(env_io_threads(), 1, "unparsable falls back");
+        std::env::remove_var("CPR_IO_THREADS");
+        assert_eq!(env_io_threads(), 1);
     }
 }

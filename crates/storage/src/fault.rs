@@ -151,6 +151,13 @@ pub struct FaultInjector {
     /// Operation number at which the crash fires (`u64::MAX` = disarmed).
     crash_at: AtomicU64,
     faults: Mutex<Vec<Fault>>,
+    /// Read operations draw from their own counter and schedule so that
+    /// arming a read fault never perturbs the write-op numbering that
+    /// every crash-schedule test is written against.
+    read_ops: AtomicU64,
+    read_faults: Mutex<Vec<Fault>>,
+    /// Read-op number at which a crash fires (`u64::MAX` = disarmed).
+    read_crash_at: AtomicU64,
     seed: u64,
     /// Operations that drew a non-[`IoVerdict::Ok`] verdict — surfaced
     /// as `faults_injected` in metrics reports.
@@ -188,6 +195,9 @@ impl FaultInjector {
             crashed: AtomicBool::new(false),
             crash_at: AtomicU64::new(crash_at),
             faults: Mutex::new(faults),
+            read_ops: AtomicU64::new(0),
+            read_faults: Mutex::new(Vec::new()),
+            read_crash_at: AtomicU64::new(u64::MAX),
             seed: plan.seed,
             hits: AtomicU64::new(0),
         }
@@ -277,6 +287,48 @@ impl FaultInjector {
         IoVerdict::Ok
     }
 
+    /// Fail (transiently) the `n`-th *read* operation from now. Reads
+    /// have their own counter ([`FaultInjector::next_read_io`]); arming
+    /// read faults never shifts write-op numbering. Used to kill the
+    /// recovery scan mid-flight.
+    pub fn fail_read_after(&self, n: u64) {
+        self.read_faults.lock().push(Fault::Fail {
+            op: self.read_ops.load(Ordering::Acquire) + n,
+        });
+    }
+
+    /// Crash at the `n`-th *read* operation from now: every subsequent
+    /// I/O (reads and writes) fails and the on-disk state freezes.
+    pub fn crash_read_after(&self, n: u64) {
+        let at = self.read_ops.load(Ordering::Acquire) + n;
+        self.read_crash_at.fetch_min(at, Ordering::AcqRel);
+    }
+
+    /// Consume one *read* operation number and return its verdict.
+    /// Without armed read faults this only checks the crashed flag, so
+    /// the default behaviour ("reads fail only after a crash") is
+    /// unchanged.
+    pub fn next_read_io(&self) -> IoVerdict {
+        let op = self.read_ops.fetch_add(1, Ordering::AcqRel);
+        if self.crashed() || op >= self.read_crash_at.load(Ordering::Acquire) {
+            self.crashed.store(true, Ordering::Release);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return IoVerdict::Crashed;
+        }
+        let mut faults = self.read_faults.lock();
+        if let Some(i) = faults.iter().position(|f| f.op() == op) {
+            let f = faults.remove(i);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return match f {
+                Fault::Fail { .. } => IoVerdict::Fail,
+                Fault::Torn { keep, .. } => IoVerdict::Torn { keep },
+                Fault::Delay { millis, .. } => IoVerdict::Delay { millis },
+                Fault::Crash { .. } => IoVerdict::Crashed,
+            };
+        }
+        IoVerdict::Ok
+    }
+
     /// Operations that drew a fault verdict so far (fail, torn, delay,
     /// or crashed).
     pub fn fault_hits(&self) -> u64 {
@@ -302,8 +354,10 @@ impl FaultInjector {
 }
 
 /// A [`Device`] decorator applying a [`FaultInjector`]'s schedule to
-/// every write. Reads and syncs fail only after a crash (they do not
-/// consume operation numbers, matching "fail the Nth *write*" semantics).
+/// every write. Reads draw from a *separate* read-op sequence
+/// ([`FaultInjector::next_read_io`]) that is fault-free unless read
+/// faults are explicitly armed, so by default reads and syncs fail only
+/// after a crash and never shift the "fail the Nth *write*" numbering.
 pub struct FaultDevice {
     inner: Arc<dyn Device>,
     injector: Arc<FaultInjector>,
@@ -359,10 +413,16 @@ impl Device for FaultDevice {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        if self.injector.crashed() {
-            return Err(self.injector.error());
+        match self.injector.next_read_io() {
+            IoVerdict::Ok => self.inner.read_at(offset, buf),
+            IoVerdict::Delay { millis } => {
+                std::thread::sleep(Duration::from_millis(millis));
+                self.inner.read_at(offset, buf)
+            }
+            IoVerdict::Fail | IoVerdict::Crashed | IoVerdict::Torn { .. } => {
+                Err(self.injector.error())
+            }
         }
-        self.inner.read_at(offset, buf)
     }
 
     fn sync(&self) -> io::Result<()> {
@@ -447,6 +507,27 @@ mod tests {
         inj.crash_after(0);
         assert!(dev.write_at(24, vec![0; 8]).wait().is_err());
         assert!(inj.crashed());
+    }
+
+    #[test]
+    fn read_faults_have_their_own_op_sequence() {
+        let (dev, inj) = faulty(FaultPlan::new());
+        dev.write_at(0, vec![1; 8]).wait().unwrap();
+        dev.sync().unwrap();
+        let mut buf = [0u8; 8];
+        inj.fail_read_after(1);
+        dev.read_at(0, &mut buf).unwrap();
+        assert!(dev.read_at(0, &mut buf).is_err(), "2nd read from now fails");
+        dev.read_at(0, &mut buf).unwrap();
+        // Arming and consuming read faults must not have consumed any
+        // write ops: the very next write is op 1 (after the one above).
+        inj.fail_after(0);
+        assert!(dev.write_at(8, vec![2; 8]).wait().is_err());
+        // A read-op crash freezes everything, like a write-op crash.
+        inj.crash_read_after(0);
+        assert!(dev.read_at(0, &mut buf).is_err());
+        assert!(inj.crashed());
+        assert!(dev.write_at(0, vec![3; 8]).wait().is_err());
     }
 
     #[test]

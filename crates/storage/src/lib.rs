@@ -24,7 +24,9 @@ mod fault;
 mod metered;
 
 pub use checkpoint::CheckpointStore;
-pub use device::{Device, FileDevice, IoHandle, MemDevice};
+pub use device::{
+    env_io_threads, Device, FileDevice, IoHandle, IoProfile, MemDevice, WRITE_STRIPE_BITS,
+};
 pub use error::StorageError;
 pub use fault::{Fault, FaultDevice, FaultInjector, FaultPlan, IoVerdict};
 pub use metered::MeteredDevice;

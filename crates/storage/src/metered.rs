@@ -41,6 +41,23 @@ impl Device for MeteredDevice {
         handle
     }
 
+    // One logical write in the metrics, however many queues it fans
+    // out to underneath.
+    fn write_vectored_at(&self, offset: u64, bufs: Vec<Vec<u8>>) -> IoHandle {
+        if !self.metrics.is_enabled() {
+            return self.inner.write_vectored_at(offset, bufs);
+        }
+        let total: usize = bufs.iter().map(Vec::len).sum();
+        self.metrics.storage_write_issued(total as u64);
+        let issued = Instant::now();
+        let handle = self.inner.write_vectored_at(offset, bufs);
+        let metrics = Arc::clone(&self.metrics);
+        handle.on_complete(move |_ok| {
+            metrics.storage_write_done(issued.elapsed());
+        });
+        handle
+    }
+
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
         self.inner.read_at(offset, buf)
     }

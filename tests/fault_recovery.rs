@@ -696,3 +696,213 @@ fn seeded_fault_plans_recover_a_committed_prefix() {
         torture_faster(seed ^ SPLIT);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Killing recovery itself: a recovery attempt that dies on checkpoint
+// reads, scan reads, invalidation-marker writes, or (for snapshots) the
+// normalization copy must surface an error — never a panic or a wedge —
+// and a later fault-free attempt must still land on exactly the
+// committed prefix. Recovery is re-runnable: partial marker writes and
+// torn normalization copies from a dead attempt are absorbed by the
+// retry, and the result is identical at any recovery thread count.
+// ---------------------------------------------------------------------------
+
+/// Commit a fold-over/snapshot checkpoint while operations overlap the
+/// commit, so version-(v+1) records land below the checkpoint's log end
+/// and recovery has invalidation markers to write. Returns the full
+/// operation stream in session order (the committed prefix length comes
+/// from `continue_session` after recovery).
+fn faster_overlapped_checkpoint(
+    dir: &std::path::Path,
+    variant: CheckpointVariant,
+    seed: u64,
+    tag: &str,
+) -> Vec<Op> {
+    let kv: FasterKv<u64> = faster_opts(dir, None).open().unwrap();
+    let mut s = kv.start_session(7);
+    let ops_a = gen_ops(seed, 40);
+    for &op in &ops_a {
+        faster_exec(&mut s, op);
+    }
+    while s.pending_len() > 0 {
+        s.refresh();
+    }
+    let ops_b = gen_ops(seed ^ SPLIT, 4000);
+    assert!(kv.request_checkpoint(variant, false), "{tag}");
+    let mut executed = Vec::new();
+    let mut i = 0usize;
+    let deadline = Instant::now() + PUMP_DEADLINE;
+    while kv.committed_version() < 1 {
+        let op = ops_b[i % ops_b.len()];
+        faster_exec(&mut s, op);
+        executed.push(op);
+        i += 1;
+        s.refresh();
+        assert!(Instant::now() < deadline, "overlapped commit wedged: {tag}");
+        std::thread::sleep(Duration::from_micros(50));
+    }
+    faster_wait_rest(&kv, &mut s, tag);
+    while s.pending_len() > 0 {
+        s.refresh();
+    }
+    let mut all = ops_a;
+    all.extend(executed);
+    all
+}
+
+/// Recover `dir` fault-free at `threads` recovery threads and check the
+/// store against the model replay of the committed prefix; returns the
+/// recovered index digest.
+fn faster_check_recovered(
+    dir: &std::path::Path,
+    ops: &[Op],
+    threads: usize,
+    tag: &str,
+) -> u64 {
+    let (kv, manifest) = faster_opts(dir, None)
+        .recovery_threads(threads)
+        .recover()
+        .unwrap_or_else(|e| panic!("fault-free recovery failed ({threads} threads): {e}: {tag}"));
+    assert!(manifest.is_some(), "committed checkpoint lost: {tag}");
+    let (mut s, cpr_point) = kv.continue_session(7);
+    assert!(
+        cpr_point as usize >= 40 && cpr_point as usize <= ops.len(),
+        "cpr point {cpr_point} outside [40, {}]: {tag}",
+        ops.len()
+    );
+    let model = model_replay(&ops[..cpr_point as usize]);
+    for key in 0..KEYS {
+        assert_eq!(
+            faster_read(&mut s, key, tag),
+            model.get(&key).copied(),
+            "key {key} ({threads} threads): {tag}"
+        );
+    }
+    kv.index_digest()
+}
+
+fn faster_recovery_kill_case(variant: CheckpointVariant, seed: u64) {
+    let tag = format!("faster {variant:?} recovery-kill seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let ops = faster_overlapped_checkpoint(dir.path(), variant, seed, &tag);
+
+    // Attempt 1: the first recovery read (snapshot.dat for snapshots,
+    // index.dat for fold-over) hits a crashed device.
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    inj.crash_read_after(0);
+    let r = faster_opts(dir.path(), Some(inj.clone()))
+        .recovery_threads(2)
+        .recover();
+    assert!(r.is_err(), "recovery must die on read 0: {tag}");
+    assert!(inj.fault_hits() >= 1, "{tag}");
+
+    // Attempt 2: a later read — the index load or a partitioned-scan
+    // chunk — fails transiently mid-recovery.
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    inj.fail_read_after(1);
+    let r = faster_opts(dir.path(), Some(inj.clone()))
+        .recovery_threads(2)
+        .recover();
+    assert!(r.is_err(), "recovery must die on read 1: {tag}");
+
+    // Attempt 3: the first recovery *write* dies. For fold-over that is
+    // an invalidation marker (present when operations overlapped the
+    // commit); for snapshot it is the normalization copy, torn mid-write
+    // so the retry must re-copy over the partial bytes.
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    match variant {
+        CheckpointVariant::FoldOver => inj.fail_after(0),
+        CheckpointVariant::Snapshot => inj.torn_after(0, 7),
+    }
+    let r = faster_opts(dir.path(), Some(inj.clone()))
+        .recovery_threads(2)
+        .recover();
+    match r {
+        Err(_) => assert!(inj.fault_hits() >= 1, "{tag}"),
+        Ok(_) => assert_eq!(
+            inj.fault_hits(),
+            0,
+            "recovery succeeded past an armed write fault: {tag}"
+        ),
+    }
+
+    // Fault-free attempts now succeed — partial markers and torn
+    // normalization bytes from the dead attempts are absorbed — and the
+    // recovered state is identical at 1, 2, and 4 recovery threads.
+    let d2 = faster_check_recovered(dir.path(), &ops, 2, &tag);
+    let d1 = faster_check_recovered(dir.path(), &ops, 1, &tag);
+    let d4 = faster_check_recovered(dir.path(), &ops, 4, &tag);
+    assert_eq!(d1, d2, "index digest differs between 1 and 2 threads: {tag}");
+    assert_eq!(d1, d4, "index digest differs between 1 and 4 threads: {tag}");
+}
+
+/// FASTER fold-over: recovery killed on checkpoint reads, scan reads,
+/// and marker writes; retries converge on the committed prefix.
+#[test]
+fn faster_foldover_recovery_killed_then_retried() {
+    faster_recovery_kill_case(CheckpointVariant::FoldOver, 0x4b11_0000_0000_0001);
+}
+
+/// FASTER snapshot: recovery killed on the snapshot read and a torn
+/// normalization copy; the retry re-copies and recovers.
+#[test]
+fn faster_snapshot_recovery_killed_then_retried() {
+    faster_recovery_kill_case(CheckpointVariant::Snapshot, 0x4b11_0000_0000_0002);
+}
+
+/// memdb CPR: recovery killed on the checkpoint read; the retry loads
+/// the committed prefix, identically at any recovery thread count.
+#[test]
+fn memdb_recovery_killed_then_retried() {
+    let seed = 0x4b11_0000_0000_0003u64;
+    let tag = format!("memdb recovery-kill seed={seed:#018x}");
+    println!("{tag}");
+    let dir = tempfile::tempdir().unwrap();
+    let ops = gen_ops(seed, 50);
+    {
+        let db: MemDb<u64> = memdb_opts(dir.path(), None).open().unwrap();
+        let mut s = db.session(1);
+        for &op in &ops {
+            memdb_exec(&mut s, op);
+        }
+        assert!(db.request_commit(), "{tag}");
+        assert!(memdb_pump(&db, &mut s, 1, 0, &tag), "commit must land: {tag}");
+        memdb_wait_rest(&db, &mut s, &tag);
+    }
+
+    // Two dead attempts: db.dat read fails, then the device crashes on it.
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    inj.fail_read_after(0);
+    assert!(
+        memdb_opts(dir.path(), Some(inj.clone())).recover().is_err(),
+        "recovery must die on a failed checkpoint read: {tag}"
+    );
+    assert!(inj.fault_hits() >= 1, "{tag}");
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new()));
+    inj.crash_read_after(0);
+    assert!(
+        memdb_opts(dir.path(), Some(inj)).recover().is_err(),
+        "recovery must die on a crashed checkpoint read: {tag}"
+    );
+
+    // Fault-free retries at different thread counts agree with the model.
+    let model = model_replay(&ops);
+    for threads in [1usize, 2, 4] {
+        let (db2, manifest) = memdb_opts(dir.path(), None)
+            .recovery_threads(threads)
+            .recover()
+            .unwrap_or_else(|e| {
+                panic!("fault-free recovery failed ({threads} threads): {e}: {tag}")
+            });
+        let manifest = manifest.unwrap_or_else(|| panic!("manifest lost: {tag}"));
+        assert_eq!(manifest.cpr_point(1), Some(ops.len() as u64), "{tag}");
+        for key in 0..KEYS {
+            assert_eq!(
+                db2.read(key),
+                model.get(&key).copied(),
+                "key {key} ({threads} threads): {tag}"
+            );
+        }
+    }
+}
